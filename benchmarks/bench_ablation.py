@@ -1,0 +1,131 @@
+"""Ablations of MemCA's design choices (DESIGN.md §4).
+
+Sweeps each attack knob and the two structural mechanisms to confirm
+what makes the attack work: burst length vs. stealth, interval vs.
+damaged fraction, Condition 2's degradation threshold, queue-size
+ordering, and the synchronous-RPC coupling itself.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    compare_attack_programs,
+    condition1_ablation,
+    rpc_vs_tandem,
+    sweep_burst_length,
+    sweep_degradation,
+    sweep_interval,
+    sweep_service_distribution,
+    sweep_target_tier,
+)
+
+
+def bench_ablation_burst_length(benchmark, report):
+    result = run_once(benchmark, sweep_burst_length)
+    report("ablation_length", result.render())
+    fractions = [p.fraction_above_rto for p in result.points]
+    utils = [p.mean_mysql_util for p in result.points]
+    # Longer bursts: monotonically more damage and more average load.
+    assert fractions == sorted(fractions)
+    assert utils == sorted(utils)
+    # Sub-fill-time bursts are harmless (L=50ms < build-up).
+    assert fractions[0] < 0.01
+
+
+def bench_ablation_interval(benchmark, report):
+    result = run_once(benchmark, sweep_interval)
+    report("ablation_interval", result.render())
+    # rho = P_D / I: damage dilutes as the interval grows (I >= 2s;
+    # at I=1s retransmission collisions distort the closed loop).
+    diluting = [p for p in result.points if p.label != "I=1s"]
+    fractions = [p.fraction_above_rto for p in diluting]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def bench_ablation_degradation(benchmark, report):
+    result = run_once(benchmark, sweep_degradation)
+    report("ablation_degradation", result.render())
+    by_label = {p.label: p for p in result.points}
+    # Condition 2: with lambda=300, C_off=600, damage needs D < 0.5.
+    assert by_label["D=0.1"].fraction_above_rto > 0.01
+    assert by_label["D=0.6"].fraction_above_rto < 0.005
+    assert by_label["D=0.6"].drops < by_label["D=0.1"].drops / 10
+
+
+def bench_ablation_condition1(benchmark, report):
+    result = run_once(benchmark, condition1_ablation)
+    report("ablation_condition1", result.render())
+    ordered, inverted = result.points
+    # Damage persists either way (front cap governs drops)...
+    assert ordered.drops > 0 and inverted.drops > 0
+    # ...but only the ordered case is analysable (Condition 1).
+    assert ordered.predicted_rho and float(ordered.predicted_rho) > 0
+    assert float(inverted.predicted_rho) == 0.0
+
+
+def bench_ablation_attack_programs(benchmark, report):
+    result = run_once(benchmark, compare_attack_programs)
+    report("ablation_programs", result.render())
+    by_label = {p.label.split()[0]: p for p in result.points}
+    lock = by_label["lock"]
+    saturate = by_label["saturate"]
+    cleanse = by_label["cleanse"]
+    # Scheduling-based contention (lock) dominates; bandwidth contention
+    # (saturation, 4 VMs) is second; storage-based contention (LLC
+    # cleansing) is the gentlest — the prior-work taxonomy's ordering.
+    assert lock.fraction_above_rto > saturate.fraction_above_rto
+    assert saturate.fraction_above_rto > cleanse.fraction_above_rto
+    assert lock.client_p95 > 1.0
+    assert cleanse.client_p95 < 0.2
+
+
+def bench_ablation_target_tier(benchmark, report):
+    result = run_once(benchmark, sweep_target_tier)
+    report("ablation_target", result.render())
+    by_label = {p.label: p for p in result.points}
+    mysql = by_label["target=mysql"]
+    tomcat = by_label["target=tomcat"]
+    apache = by_label["target=apache"]
+    # The bottleneck tier is the most damaging co-location target.
+    assert mysql.fraction_above_rto > tomcat.fraction_above_rto
+    assert tomcat.fraction_above_rto > apache.fraction_above_rto
+    assert mysql.client_p95 > 1.0
+    # Apache has so much headroom that Condition 2 fails there.
+    assert apache.client_p95 < 0.2
+
+
+def bench_ablation_service_distribution(benchmark, report):
+    result = run_once(benchmark, sweep_service_distribution)
+    report("ablation_distribution", result.render())
+    # The amplification mechanism is insensitive to the service law:
+    # all four distributions produce the > 1 s p95 at equal means.
+    for point in result.points:
+        assert point.client_p95 > 1.0, point.label
+        assert point.fraction_above_rto > 0.03, point.label
+
+
+def bench_ablation_rpc_vs_tandem(benchmark, report):
+    result = run_once(benchmark, rpc_vs_tandem)
+    report("ablation_rpc", result.render())
+    rpc, tandem = result.points
+    # The amplification mechanism: no thread coupling, no client damage.
+    assert tandem.drops == 0
+    assert rpc.drops > 0
+    assert rpc.client_p99 > 5 * tandem.client_p99
+
+
+def bench_ablation_dual_tier(benchmark, report):
+    from repro.experiments import dual_tier_attack
+
+    result = run_once(benchmark, dual_tier_attack)
+    report("ablation_dual_tier", result.render())
+    single, dual_full, split = result.points
+    # Two full-intensity attackers on different tiers: strictly more
+    # damage than one (two millibottlenecks per interval, and the
+    # staggered bursts catch TCP retries for multi-RTO tails).
+    assert dual_full.fraction_above_rto > single.fraction_above_rto
+    assert dual_full.client_p99 > single.client_p99
+    # But *splitting* intensity across tiers collapses the attack:
+    # Condition 2 is a per-host threshold, not a budget.
+    assert split.fraction_above_rto < 0.01
+    assert split.client_p95 < 0.2

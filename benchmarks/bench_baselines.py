@@ -1,0 +1,42 @@
+"""MemCA vs external DoS baselines: the paper's positioning, measured.
+
+Four campaigns against identical deployments: quiet, volumetric flood,
+pulsating HTTP bursts (the cited tail attacks), and MemCA.  Asserts
+the two-axis outcome: only MemCA is simultaneously damaging (legit
+p95 > 1 s) and stealthy (no auto-scaling, no traffic anomaly, no LLC
+signature).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_baseline_comparison
+
+
+def bench_baseline_positioning(benchmark, report):
+    result = run_once(benchmark, run_baseline_comparison)
+    report("baselines", result.render())
+    quiet = result.row("none")
+    flood = result.row("flood")
+    pulsating = result.row("pulsating")
+    memca = result.row("memca")
+
+    # Quiet system: healthy and unalarmed.
+    assert not quiet.damaging and quiet.stealthy
+
+    # Flooding: devastating but loud on both the utilization and
+    # traffic axes.
+    assert flood.damaging
+    assert flood.autoscaling_triggered
+    assert flood.rate_anomaly_detected
+
+    # Pulsating bursts: damage without sustained saturation (bypasses
+    # auto-scaling) but the bursts are visible in the request stream.
+    assert pulsating.damaging
+    assert not pulsating.autoscaling_triggered
+    assert pulsating.rate_anomaly_detected
+
+    # MemCA: the only campaign that is damaging AND fully stealthy.
+    assert memca.damaging and memca.stealthy
+    winners = [r.campaign for r in result.rows
+               if r.damaging and r.stealthy]
+    assert winners == ["memca"]

@@ -1,0 +1,26 @@
+"""Substrate validation: the no-attack baseline matches queueing theory.
+
+Before believing any attack number, the simulator itself must agree
+with Mean Value Analysis on the closed-loop baseline: throughput and
+bottleneck utilization across population sizes, and the location of
+the saturation knee relative to the paper's operating point.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_capacity_validation
+
+
+def bench_capacity_baseline_matches_mva(benchmark, report):
+    result = run_once(benchmark, run_capacity_validation)
+    report("capacity", result.render())
+    # Throughput within 15% of MVA at every population.
+    assert result.within(0.15)
+    # Utilization tracks too (MVA is exact for the closed network).
+    for point in result.points:
+        assert abs(
+            point.measured_mysql_util - point.predicted_mysql_util
+        ) < 0.08
+    # The paper's 3500-user operating point sits below the knee — the
+    # system is *unsaturated*, which is what makes MemCA interesting.
+    assert result.knee > 3500

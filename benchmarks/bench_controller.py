@@ -1,0 +1,26 @@
+"""Section V-A with MemCA-BE: the feedback-controlled campaign.
+
+Starts from a deliberately weak parameterization and verifies the
+Kalman-filtered commander escalates (intensity, then burst length, then
+interval) until the 95th-percentile damage goal is reached — with no
+victim-side knowledge.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_controller
+
+
+def bench_controller_convergence(benchmark, report):
+    result = run_once(benchmark, run_controller)
+    report("controller", result.render())
+    assert result.converged, "commander never reached the damage goal"
+    assert result.epochs_to_goal is not None
+    # The ladder was actually climbed: intensity first.
+    actions = " ".join(e.action for e in result.history)
+    assert "escalate(intensity" in actions
+    assert "escalate(length" in actions or "escalate(interval" in actions
+    # Final effect meets the paper's damage bar.
+    assert result.effect.percentiles[95] > 1.0
+    # FE-side stealth estimate stays sub-second.
+    assert result.effect.mean_burst_length < 1.0

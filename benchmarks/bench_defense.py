@@ -1,0 +1,49 @@
+"""Future-work extension: millibottleneck-triggered migration defense.
+
+Evaluates the defense direction the paper's conclusion calls for:
+targeted fine-grained monitoring of the latency-critical VM plus
+live migration away from the contested host, including the
+cat-and-mouse dynamics when the adversary re-co-locates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_defense
+
+
+def bench_defense_breaks_the_attack(benchmark, report):
+    result = run_once(benchmark, run_defense)
+    report("defense", result.render())
+    assert result.migrations, "defense never triggered"
+    first = result.migrations[0].time
+    # Before migration: the familiar > 1 s tail.
+    assert result.p95_between(result.scenario.warmup, first) > 0.5
+    # After migration: back to healthy baseline.
+    assert result.p95_between(first + 10.0,
+                              result.scenario.duration) < 0.1
+
+
+def bench_defense_cat_and_mouse(benchmark, report):
+    result = run_once(
+        benchmark, lambda: run_defense(recolocate_after=25.0)
+    )
+    report("defense_cat_and_mouse", result.render())
+    # The adversary re-co-locates and forces repeated migrations.
+    assert len(result.migrations) >= 2
+    assert result.recolocations
+    # Damage recurs after each re-co-location...
+    worst_after_recolocation = max(
+        result.p95_between(t, t + 15.0) for t in result.recolocations[:-1]
+    ) if len(result.recolocations) > 1 else result.p95_between(
+        result.recolocations[0], result.recolocations[0] + 15.0
+    )
+    assert worst_after_recolocation > 0.3
+    # ...and every migration restores the tail within its window.
+    for migration in result.migrations:
+        try:
+            recovered = result.p95_between(
+                migration.time + 2.0, migration.time + 12.0
+            )
+        except ValueError:
+            continue  # migration too close to the end of the run
+        assert recovered < 0.6

@@ -1,0 +1,31 @@
+"""Second defense family: DIAL-style interference-aware balancing.
+
+Replicate the bottleneck tier, attack one replica's host, and compare
+static dispatch against latency-feedback re-weighting.  Asserts the
+cited user-centric defense's claim on our substrate: interference can
+be *routed around* without ever identifying its cause.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_dial
+
+
+def bench_dial_load_balancing(benchmark, report):
+    result = run_once(benchmark, run_dial)
+    report("dial", result.render())
+    baseline = result.cases["no-attack"]
+    static = result.cases["static"]
+    dial = result.cases["dial"]
+    # Replication alone already blunts the attack relative to the
+    # single-instance deployment (p95 well under the 1 s RTO)...
+    assert static.client_p95 < 1.0
+    # ...but the static tail is still an order of magnitude above the
+    # healthy baseline.
+    assert static.client_p95 > 5 * baseline.client_p95
+    # DIAL drains the attacked replica and restores a near-baseline tail.
+    assert result.dial_protects
+    assert dial.client_p95 < 3 * baseline.client_p95
+    assert dial.attacked_share < 0.2
+    # The weight floor keeps probing the suspect replica.
+    assert min(dial.final_weights) >= 0.05 - 1e-9

@@ -1,0 +1,27 @@
+"""Fig 10: stealthiness under cloud elasticity (CloudWatch sampling).
+
+Regenerates the three granularity views of the attacked MySQL CPU and
+verifies the auto-scaling threshold is never crossed at CloudWatch
+granularity while 50 ms monitoring plainly shows saturations.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig10
+
+
+def bench_fig10_autoscaling_bypass(benchmark, report):
+    result = run_once(benchmark, run_fig10)
+    report("fig10", result.render())
+    assert result.bypassed_autoscaling
+    views = result.views
+    # 1-minute view: flat and moderate — nothing above the trigger.
+    assert views["cloudwatch_1min"].max() < result.policy.threshold
+    # 50 ms view: transient saturations are plainly visible.
+    assert views["ultrafine_50ms"].max() >= 0.99
+    # The finer you sample, the more saturation you see.
+    assert (
+        views["ultrafine_50ms"].fraction_above(0.95)
+        > views["fine_1s"].fraction_above(0.95)
+        >= views["cloudwatch_1min"].fraction_above(0.95)
+    )

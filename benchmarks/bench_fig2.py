@@ -1,0 +1,26 @@
+"""Fig 2: tail response-time amplification per tier (EC2 + private).
+
+Regenerates both panels: percentile response time observed at each tier
+and by the clients, under the MemCA lock attack (L=500 ms, I=2 s).
+Paper claims checked: client p95 > 1 s; tail amplifies from MySQL
+through Tomcat/Apache to the clients.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2_both
+
+
+def bench_fig2_tail_amplification(benchmark, report):
+    ec2, private = run_once(benchmark, lambda: run_fig2_both())
+    report("fig2", ec2.render() + "\n\n" + private.render())
+    for result in (ec2, private):
+        assert result.amplified(95), f"{result.environment}: no amplification"
+        client_p95 = result.curves["client"].at(95)
+        assert client_p95 > 1.0, (
+            f"{result.environment}: client p95 {client_p95:.3f}s <= 1s"
+        )
+        # Monotone back-to-front tail at p95: mysql <= tomcat/apache.
+        mysql = result.curves["mysql"].at(95)
+        assert result.curves["tomcat"].at(95) >= 0.9 * mysql
+        assert result.curves["apache"].at(95) >= 0.9 * mysql

@@ -1,0 +1,46 @@
+"""Fig 3: per-VM memory bandwidth under the two memory attacks.
+
+Regenerates the bandwidth-degradation curves for same-package and
+random-package placements, checking the three Section III findings.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+from repro.experiments.fig3 import run_fig3_hypervisors
+from repro.hardware import EC2_E5_2680
+
+
+def bench_fig3_bandwidth_degradation(benchmark, report):
+    result = run_once(benchmark, run_fig3)
+    report("fig3", result.render())
+    assert result.finding1_single_attacker_insufficient()
+    assert result.finding2_decreases_with_vms("same-package")
+    assert result.finding2_decreases_with_vms("random-package")
+    assert result.finding3_lock_beats_saturation()
+    # Random package halves the damage (two buses instead of one).
+    for attack in ("none", "saturate", "lock"):
+        assert result.bandwidth("random-package", attack, 4) > (
+            result.bandwidth("same-package", attack, 4)
+        )
+
+
+def bench_fig3_on_ec2_host(benchmark, report):
+    """Same profiling on the EC2 host spec."""
+    result = run_once(benchmark, lambda: run_fig3(spec=EC2_E5_2680))
+    report("fig3_ec2", result.render())
+    assert result.finding3_lock_beats_saturation()
+
+
+def bench_fig3_across_hypervisors(benchmark, report):
+    """Section III cross-platform check: KVM/Xen/VMware/Hyper-V agree."""
+    results = run_once(benchmark, run_fig3_hypervisors)
+    text = "\n\n".join(
+        f"--- {name} ---\n{result.render()}"
+        for name, result in results.items()
+    )
+    report("fig3_hypervisors", text)
+    for name, result in results.items():
+        assert result.finding1_single_attacker_insufficient(), name
+        assert result.finding2_decreases_with_vms("same-package"), name
+        assert result.finding3_lock_beats_saturation(), name

@@ -1,0 +1,35 @@
+"""Fig 6: cross-tier queue overflow vs. the tandem-queue model.
+
+Regenerates the queue-length trajectories around one burst for both
+service disciplines and overlays the closed-form prediction.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series
+from repro.experiments import run_fig6
+
+
+def bench_fig6_cross_tier_queue_overflow(benchmark, report):
+    result = run_once(benchmark, run_fig6)
+    lines = [result.render(), ""]
+    for tier in result.scenario.tier_names:
+        series = result.attack[tier]
+        lines.append(
+            format_series(
+                f"attack-model {tier} queue",
+                list(series.times),
+                list(series.values),
+                max_points=25,
+                value_format="{:.0f}",
+            )
+        )
+    report("fig6", "\n".join(lines))
+    # 6(b): overflow propagates through every tier of the attack model.
+    assert result.overflow_propagates()
+    # 6(a): the tandem model confines queueing to the bottleneck.
+    assert result.tandem_confined_to_back()
+    # The closed form predicts each tier's cap is reached.
+    for tier, q in zip(result.scenario.tier_names,
+                       result.scenario.queue_sizes):
+        assert max(result.predicted[tier]) >= 0.99 * q

@@ -1,0 +1,24 @@
+"""Fig 7: percentile response time under the three service models.
+
+(a) tandem/infinite: all tier curves overlap; (b) RPC with infinite
+front queue: amplification without drops; (c) finite queues: client
+peak dominated by TCP retransmissions.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def bench_fig7_tail_amplification_models(benchmark, report):
+    result = run_once(benchmark, run_fig7)
+    report("fig7", result.render())
+    assert result.tandem_curves_overlap()
+    assert result.amplification_without_drops()
+    assert result.finite_queues_worst_for_clients()
+    # 7(c): the finite-queue client tail crosses the 1 s TCP RTO...
+    finite_client = result.cases["attack-finite"]["client"]
+    assert finite_client.at(99) > 1.0
+    # ...while the no-drop models stay well below it.
+    assert result.cases["tandem"]["client"].at(99) < 0.5
+    assert result.cases["attack-infinite-front"]["client"].at(99) < 0.5

@@ -1,0 +1,29 @@
+"""Fig 9: the 8-second fine-grained damage snapshot.
+
+Regenerates the four aligned panels: attack bursts, transient MySQL CPU
+saturation, cross-tier queue propagation, and client response times.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments import PRIVATE_CLOUD, run_fig9
+
+
+def bench_fig9_damage_snapshot(benchmark, report):
+    scenario = replace(PRIVATE_CLOUD, duration=40.0)
+    result = run_once(
+        benchmark, lambda: run_fig9(scenario, window_start=16.0)
+    )
+    report("fig9", result.render())
+    # (a) bursts every ~2 s for ~500 ms each.
+    assert 3 <= len(result.bursts) <= 6
+    for burst in result.bursts:
+        assert burst.length <= 0.6
+    # (b) transient CPU saturations, one per burst (within slack).
+    assert result.transient_saturations() >= 3
+    # (c) queue propagation beyond MySQL into upstream tiers.
+    assert result.queues_propagate()
+    # (d) clients perceive > 1 s response times in the window.
+    assert result.client_peak() > 1.0

@@ -1,0 +1,32 @@
+"""Section IV-B: closed-form model (Eqs. 2-10) vs. DES measurements.
+
+Sweeps burst parameterizations and compares measured fill-up, build-up,
+damage period, and millibottleneck length against both the paper's
+equations and the flow-conservation variant.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_validation
+
+
+def bench_model_validation(benchmark, report):
+    result = run_once(benchmark, run_validation)
+    report("model_validation", result.render())
+    # The DES matches the conservation-based model closely.
+    assert result.conservative_within(tolerance=0.5)
+    for row in result.rows:
+        measured = row.measured
+        assert measured.bursts_observed >= 20
+        # Bottleneck fill time: both model variants agree with the DES.
+        assert measured.fill_time_back is not None
+        predicted = row.conservative.fill_up[-1]
+        assert abs(measured.fill_time_back - predicted) < max(
+            0.01, 0.6 * predicted
+        )
+        # The paper's Eqs. 5-6 never predict slower fill than observed
+        # (they sum per-tier arrival streams).
+        assert row.paper.build_up <= row.conservative.build_up
+        # Millibottleneck stays sub-second: the stealth envelope.
+        assert measured.millibottleneck is not None
+        assert measured.millibottleneck < 1.0

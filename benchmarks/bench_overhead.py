@@ -1,0 +1,31 @@
+"""The monitoring dilemma (Section I's overhead argument), measured.
+
+Sweeps monitoring granularity with a fixed per-sample agent cost on an
+attacked system and asserts the refined shape: coarse is cheap but
+blind, ultra-fine busts the budget, a narrow per-VM sweet spot exists
+(the targeted-defense opening) but disappears at provider fleet scale.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_overhead_study
+
+
+def bench_monitoring_overhead_dilemma(benchmark, report):
+    result = run_once(benchmark, run_overhead_study)
+    report("overhead", result.render())
+    by_interval = {p.interval: p for p in result.points}
+    # Coarse monitoring is cheap but never sees the bursts.
+    assert by_interval[60.0].within_budget
+    assert not by_interval[60.0].sees_the_attack
+    assert not by_interval[1.0].sees_the_attack
+    # Ultra-fine sees everything but busts the 1% budget.
+    assert by_interval[0.01].sees_the_attack
+    assert not by_interval[0.01].within_budget
+    # The per-VM sweet spot exists (targeted defense is affordable)...
+    spots = result.sweet_spots()
+    assert spots and all(p.interval < 1.0 for p in spots)
+    # ...but vanishes at provider fleet scale (the paper's argument).
+    assert all(
+        result.fleet_overhead(p) >= 0.01 for p in spots
+    )

@@ -1,0 +1,33 @@
+"""Threat-model precondition: co-residency campaigns (§II-B).
+
+The paper cites placement attacks with 0.6-0.89 success and dollars of
+cost; this bench runs launch-probe-release campaigns against simulated
+zones and checks the same ballpark: high success within a 60-VM budget
+on moderate zones, costs in single-digit dollars, and harder/slower
+campaigns on larger zones.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_placement_study
+
+
+def bench_placement_campaigns(benchmark, report):
+    study = run_once(
+        benchmark,
+        lambda: run_placement_study(
+            zone_sizes=(10, 20, 40), strategies=("random",), trials=5
+        ),
+    )
+    report("placement", study.render())
+    small = study.row(10, "random")
+    mid = study.row(20, "random")
+    large = study.row(40, "random")
+    # High success within budget on moderate zones (paper: 0.6-0.89).
+    assert small.success_rate >= 0.6
+    assert mid.success_rate >= 0.6
+    # Bigger zones cost more launches on average.
+    assert large.mean_vms > small.mean_vms
+    # Cost stays in the cited dollars range.
+    for row in (small, mid, large):
+        assert row.mean_cost_usd < 5.30

@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each bench regenerates one paper table/figure: it runs the experiment
+once under pytest-benchmark (so the harness also tracks how long each
+reproduction takes), prints the regenerated rows/series to the
+terminal, and archives them under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered figure to the terminal and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[saved to {path}]")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Adaptive attacker: MemCA-BE steers a blind attack to its goal.
+
+The attacker knows nothing about the victim's service rates, queue
+sizes, or utilization.  It starts with a weak parameterization (30%
+intensity, 250 ms bursts every 3 s), probes the public web interface at
+2 req/s, Kalman-filters the probe percentiles, and climbs the
+escalation ladder — intensity, then burst length, then interval — until
+the filtered 95th percentile crosses 1 second.
+
+Run:  python examples/adaptive_attacker.py
+"""
+
+from repro.cloud import CloudDeployment, rubbos_3tier
+from repro.core import ControlGoals, MemCAAttack, MemoryLockAttack
+from repro.ntier import UserPopulation
+from repro.sim import RandomStreams, Simulator
+from repro.workload import RubbosWorkload
+
+
+def main() -> None:
+    streams = RandomStreams(seed=21)
+    sim = Simulator()
+    deployment = CloudDeployment(sim, rubbos_3tier())
+    workload = RubbosWorkload(rng=streams.get("workload"))
+    UserPopulation(
+        sim,
+        deployment.app,
+        workload.make_request,
+        users=2600,
+        think_time=7.0,
+        rng=streams.get("users"),
+    ).start()
+
+    attack = MemCAAttack(
+        sim,
+        deployment,
+        program=MemoryLockAttack(),
+        length=0.25,
+        interval=3.0,
+        intensity=0.3,
+        jitter=0.1,
+        rng=streams.get("attack"),
+    )
+    attack.launch()
+    backend = attack.enable_feedback(
+        workload.make_request,
+        goals=ControlGoals(rt_target=1.0, quantile=95.0,
+                           stealth_limit=1.0),
+        probe_rate=2.0,
+        epoch=10.0,
+        rng=streams.get("prober"),
+    )
+
+    print("running 150 simulated seconds of controlled MemCA ...\n")
+    sim.run(until=150.0)
+
+    header = (
+        f"{'t':>5} {'probes':>6} {'p95':>7} {'filtered':>8} "
+        f"{'intensity':>9} {'L':>6} {'I':>6}  action"
+    )
+    print(header)
+    print("-" * len(header))
+    for epoch in backend.history:
+        measured = (
+            f"{epoch.measured_rt:.2f}" if epoch.measured_rt else "-"
+        )
+        filtered = (
+            f"{epoch.filtered_rt:.2f}" if epoch.filtered_rt else "-"
+        )
+        print(
+            f"{epoch.time:5.0f} {epoch.samples:6d} {measured:>7} "
+            f"{filtered:>8} {epoch.intensity:9.2f} "
+            f"{epoch.length * 1e3:5.0f}m {epoch.interval:5.2f}s  "
+            f"{epoch.action}"
+        )
+
+    effect = attack.effect(since=100.0)
+    print("\nfinal effect:", effect.summary())
+    reached = backend.commander.achieved_goal
+    print("damage goal:", "REACHED" if reached else "not reached")
+
+
+if __name__ == "__main__":
+    main()

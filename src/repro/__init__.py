@@ -1,0 +1,75 @@
+"""repro — reproduction of "Tail Amplification in n-Tier Systems: A
+Study of Transient Cross-Resource Contention Attacks" (MemCA, ICDCS
+2019).
+
+The package layers, bottom-up:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.hardware` — hosts, packages, shared memory bandwidth,
+  LLC, VMs (the cross-resource contention substrate);
+* :mod:`repro.ntier` — the 3-tier web application with synchronous RPC
+  tiers, finite queues, and TCP retransmission;
+* :mod:`repro.workload` — RUBBoS-like closed-loop users and open-loop
+  Poisson streams;
+* :mod:`repro.monitoring` / :mod:`repro.cloud` — samplers at cloud
+  granularities, auto-scaling, interference detectors;
+* :mod:`repro.model` — the closed-form queueing analysis (Eqs. 2-10);
+* :mod:`repro.core` — MemCA itself: attack programs, ON-OFF bursts,
+  MemCA-FE/BE with Kalman-filtered feedback control;
+* :mod:`repro.experiments` — one runner per paper figure.
+
+Quickstart::
+
+    from repro.experiments import run_fig2, PRIVATE_CLOUD
+    result = run_fig2(PRIVATE_CLOUD, duration=60.0)
+    print(result.render())
+"""
+
+from . import (
+    analysis,
+    cloud,
+    core,
+    experiments,
+    hardware,
+    model,
+    monitoring,
+    ntier,
+    sim,
+    workload,
+)
+from .cloud import CloudDeployment, rubbos_3tier
+from .core import (
+    ControlGoals,
+    MemCAAttack,
+    MemoryBusSaturation,
+    MemoryLockAttack,
+)
+from .model import AttackBurst, SystemModel, TierModel, analyze, plan_attack
+from .sim import Simulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AttackBurst",
+    "CloudDeployment",
+    "ControlGoals",
+    "MemCAAttack",
+    "MemoryBusSaturation",
+    "MemoryLockAttack",
+    "Simulator",
+    "SystemModel",
+    "TierModel",
+    "analysis",
+    "analyze",
+    "cloud",
+    "core",
+    "experiments",
+    "hardware",
+    "model",
+    "monitoring",
+    "ntier",
+    "plan_attack",
+    "rubbos_3tier",
+    "sim",
+    "workload",
+]

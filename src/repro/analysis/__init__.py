@@ -1,0 +1,45 @@
+"""Analysis: tail statistics, plain-text reporting, charts, export."""
+
+from .export import (
+    curves_to_json,
+    requests_to_rows,
+    write_curves_json,
+    write_requests_csv,
+    write_timeseries_csv,
+)
+from .plot import ascii_chart, ascii_percentiles, ascii_timeseries
+from .replication import Replication, format_replications, replicate
+from .report import format_percentile_curves, format_series, format_table
+from .stats import (
+    PercentileCurve,
+    TailSummary,
+    amplification_factors,
+    client_percentile_curve,
+    percentile_curve,
+    tail_summary,
+    tier_percentile_curves,
+)
+
+__all__ = [
+    "PercentileCurve",
+    "Replication",
+    "TailSummary",
+    "amplification_factors",
+    "ascii_chart",
+    "ascii_percentiles",
+    "ascii_timeseries",
+    "client_percentile_curve",
+    "curves_to_json",
+    "format_percentile_curves",
+    "format_replications",
+    "format_series",
+    "format_table",
+    "percentile_curve",
+    "replicate",
+    "requests_to_rows",
+    "tail_summary",
+    "tier_percentile_curves",
+    "write_curves_json",
+    "write_requests_csv",
+    "write_timeseries_csv",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+``python -m repro list`` shows the available experiments;
+``python -m repro fig2`` (etc.) runs one and prints its rows/series;
+``python -m repro all`` runs the full evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .experiments import (
+    compare_attack_programs,
+    run_overhead_study,
+    run_dial,
+    dual_tier_attack,
+    run_placement_study,
+    run_baseline_comparison,
+    run_capacity_validation,
+    condition1_ablation,
+    rpc_vs_tandem,
+    run_controller,
+    run_defense,
+    run_fig2_both,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_validation,
+    sweep_burst_length,
+    sweep_degradation,
+    sweep_interval,
+    sweep_service_distribution,
+    sweep_target_tier,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig2() -> str:
+    ec2, private = run_fig2_both()
+    return ec2.render() + "\n\n" + private.render()
+
+
+def _ablation() -> str:
+    parts = [
+        sweep_burst_length().render(),
+        sweep_interval().render(),
+        sweep_degradation().render(),
+        condition1_ablation().render(),
+        rpc_vs_tandem().render(),
+        compare_attack_programs().render(),
+        sweep_target_tier().render(),
+        sweep_service_distribution().render(),
+        dual_tier_attack().render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _defense() -> str:
+    plain = run_defense()
+    chased = run_defense(recolocate_after=25.0)
+    return (
+        plain.render()
+        + "\n\n(with adversary re-co-location after 25 s)\n"
+        + chased.render()
+    )
+
+
+#: name -> (description, runner returning printable text).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig2": (
+        "tail amplification per tier (EC2 + private cloud)",
+        _fig2,
+    ),
+    "fig3": (
+        "memory bandwidth degradation under the two attacks",
+        lambda: run_fig3().render(),
+    ),
+    "fig6": (
+        "cross-tier queue overflow vs tandem queue",
+        lambda: run_fig6().render(),
+    ),
+    "fig7": (
+        "percentile RT under the three queueing models",
+        lambda: run_fig7().render(),
+    ),
+    "fig9": (
+        "8-second fine-grained damage snapshot",
+        lambda: run_fig9().render(),
+    ),
+    "fig10": (
+        "stealthiness vs monitoring granularity / auto-scaling",
+        lambda: run_fig10().render(),
+    ),
+    "fig11": (
+        "LLC-miss signatures of the two attack programs",
+        lambda: run_fig11().render(),
+    ),
+    "validation": (
+        "Eqs. 2-10 closed-form model vs DES measurements",
+        lambda: run_validation().render(),
+    ),
+    "controller": (
+        "MemCA-BE feedback control convergence",
+        lambda: run_controller().render(),
+    ),
+    "ablation": (
+        "sweeps: L, I, D, Condition 1, RPC vs tandem, programs, targets",
+        _ablation,
+    ),
+    "defense": (
+        "millibottleneck-triggered migration defense (extension)",
+        _defense,
+    ),
+    "capacity": (
+        "baseline capacity: DES vs Mean Value Analysis",
+        lambda: run_capacity_validation().render(),
+    ),
+    "baselines": (
+        "MemCA vs flooding vs pulsating HTTP attacks",
+        lambda: run_baseline_comparison().render(),
+    ),
+    "placement": (
+        "co-residency campaigns (the threat-model precondition)",
+        lambda: run_placement_study().render(),
+    ),
+    "dial": (
+        "DIAL-style interference-aware load balancing (extension)",
+        lambda: run_dial().render(),
+    ),
+    "overhead": (
+        "the monitoring dilemma: agent cost vs attack visibility",
+        lambda: run_overhead_study().render(),
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Tail Amplification in n-Tier Systems' "
+            "(MemCA, ICDCS 2019): regenerate any evaluation figure."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="list",
+        help="experiment name, 'all', or 'list' (default)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        print("available experiments:\n")
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {description}")
+        print(f"\n  {'all'.ljust(width)}  run everything above")
+        return 0
+
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "try 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        started = time.time()
+        print(runner())
+        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

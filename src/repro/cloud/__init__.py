@@ -1,0 +1,45 @@
+"""Cloud platform substrate: deployments, elasticity, detection."""
+
+from .autoscaling import AutoScalingMonitor, AutoScalingPolicy, ScalingEvent
+from .defense import MigrationEvent, MillibottleneckDefense
+from .dial import DialBalancer
+from .detection import (
+    CpiDetector,
+    DetectionReport,
+    PeriodicitySpikeDetector,
+    RateAnomalyDetector,
+    ThresholdDetector,
+    cpi_series,
+)
+from .placement import (
+    CampaignResult,
+    CausalCoResidencyProbe,
+    CloudZone,
+    CoLocationCampaign,
+    ZoneFullError,
+)
+from .platform import CloudDeployment, DeploymentConfig, TierConfig, rubbos_3tier
+
+__all__ = [
+    "AutoScalingMonitor",
+    "AutoScalingPolicy",
+    "CampaignResult",
+    "CausalCoResidencyProbe",
+    "CloudDeployment",
+    "CloudZone",
+    "CoLocationCampaign",
+    "CpiDetector",
+    "DeploymentConfig",
+    "DetectionReport",
+    "DialBalancer",
+    "MigrationEvent",
+    "MillibottleneckDefense",
+    "PeriodicitySpikeDetector",
+    "RateAnomalyDetector",
+    "ScalingEvent",
+    "ThresholdDetector",
+    "TierConfig",
+    "ZoneFullError",
+    "cpi_series",
+    "rubbos_3tier",
+]

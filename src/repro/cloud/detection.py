@@ -1,0 +1,227 @@
+"""Performance-interference detectors (the defenders MemCA must evade).
+
+Three detector families stand in for the state of the art the paper
+cites:
+
+* :class:`ThresholdDetector` — the provider-centric baseline: flag a VM
+  whose *sampled* utilization stays saturated for a minimum duration.
+  At coarse granularity it cannot see sub-second bursts.
+* :class:`PeriodicitySpikeDetector` — a host-level profiler looking for
+  a periodic spike pattern in a hardware counter series (the natural
+  way to catch an ON-OFF attacker from LLC misses, Fig 11).  It catches
+  the bus-saturation program (which thrashes the LLC) but not the
+  memory-lock program (which has no LLC footprint) — the paper's
+  "monitoring the wrong metric tells you nothing".
+* :class:`CpiDetector` — a CPI^2-style user-centric detector: cycles
+  per unit of useful work.  During a lock burst the victim's CPU is
+  busy but does little work, so fine-grained CPI spikes; at coarse
+  granularity the spike averages away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..monitoring.metrics import TimeSeries
+
+__all__ = [
+    "DetectionReport",
+    "ThresholdDetector",
+    "PeriodicitySpikeDetector",
+    "CpiDetector",
+    "RateAnomalyDetector",
+    "cpi_series",
+]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Outcome of running a detector over a metric series."""
+
+    detector: str
+    detected: bool
+    score: float
+    detail: str = ""
+
+
+@dataclass
+class ThresholdDetector:
+    """Flag sustained saturation of a sampled utilization series."""
+
+    threshold: float = 0.95
+    min_duration: float = 1.0
+
+    def run(self, series: TimeSeries) -> DetectionReport:
+        spans = series.intervals_above(self.threshold)
+        longest = max((end - start for start, end in spans), default=0.0)
+        detected = longest >= self.min_duration
+        return DetectionReport(
+            detector=f"threshold(>{self.threshold}, {self.min_duration}s)",
+            detected=detected,
+            score=longest,
+            detail=f"longest saturated span {longest:.3f}s "
+            f"across {len(spans)} episodes",
+        )
+
+
+@dataclass
+class PeriodicitySpikeDetector:
+    """Detect a regular spike train in a counter series.
+
+    Samples more than ``spike_sigma`` robust deviations (median
+    absolute deviation, scaled to sigma-equivalent) above the median
+    are spikes; if at least ``min_spikes`` spikes occur and their
+    inter-arrival times have a coefficient of variation below
+    ``max_cv``, the series contains a periodic disturbance.  MAD rather
+    than the standard deviation matters here: an ON-OFF attacker with a
+    25% duty cycle inflates the plain std enough to hide its own
+    spikes.
+    """
+
+    spike_sigma: float = 6.0
+    min_spikes: int = 3
+    max_cv: float = 0.35
+
+    def spike_times(self, series: TimeSeries) -> np.ndarray:
+        values = series.values
+        if len(values) < 4:
+            return np.array([])
+        median = np.median(values)
+        mad = np.median(np.abs(values - median))
+        scale = 1.4826 * mad  # sigma-equivalent for normal noise
+        if scale == 0:
+            return np.array([])
+        mask = values > median + self.spike_sigma * scale
+        times = series.times[mask]
+        if len(times) == 0:
+            return times
+        # Merge adjacent samples of the same spike into its onset.
+        gaps = np.diff(times)
+        keep = np.concatenate(([True], gaps > 2 * np.median(np.diff(series.times))))
+        return times[keep]
+
+    def run(self, series: TimeSeries) -> DetectionReport:
+        name = "periodicity-spike"
+        spikes = self.spike_times(series)
+        if len(spikes) < self.min_spikes:
+            return DetectionReport(
+                detector=name,
+                detected=False,
+                score=float("inf"),
+                detail=f"only {len(spikes)} spikes",
+            )
+        intervals = np.diff(spikes)
+        cv = float(np.std(intervals) / np.mean(intervals))
+        detected = cv <= self.max_cv
+        return DetectionReport(
+            detector=name,
+            detected=detected,
+            score=cv,
+            detail=(
+                f"{len(spikes)} spikes, inter-spike cv={cv:.3f} "
+                f"(mean period {np.mean(intervals):.3f}s)"
+            ),
+        )
+
+
+def cpi_series(
+    busy_series: TimeSeries, work_series: TimeSeries
+) -> TimeSeries:
+    """Cycles-per-work ratio series from aligned busy/work samples.
+
+    ``busy_series`` carries busy core-seconds per interval and
+    ``work_series`` nominal work completed per interval; the ratio is a
+    dimensionless CPI analogue (1.0 = no stall inflation).
+    """
+    if len(busy_series) != len(work_series):
+        raise ValueError("busy and work series must be aligned")
+    out = TimeSeries("cpi")
+    for (t, busy), (_t2, work) in zip(busy_series, work_series):
+        if work <= 0:
+            # Fully stalled interval: report a saturated CPI.
+            out.append(t, 100.0 if busy > 0 else 1.0)
+        else:
+            out.append(t, max(1.0, busy / work))
+    return out
+
+
+@dataclass
+class RateAnomalyDetector:
+    """Traffic-side anomaly detection on the request-arrival series.
+
+    External attacks show up in the traffic itself: a volumetric flood
+    lifts the sustained rate far above baseline, and a pulsating attack
+    leaves a periodic spike train.  This detector applies both checks
+    to a per-interval arrival-count series.  MemCA generates almost no
+    traffic, so it passes both — which is the point of the comparison
+    in :mod:`repro.experiments.baselines`.
+
+    ``baseline`` is the expected per-interval arrival count (e.g. from
+    a quiet calibration window); ``surge_factor`` flags sustained rates
+    above ``surge_factor * baseline``.
+    """
+
+    baseline: float
+    surge_factor: float = 1.5
+    min_surge_duration: float = 10.0
+    spike_detector: PeriodicitySpikeDetector = None  # type: ignore
+
+    def __post_init__(self) -> None:
+        if self.baseline <= 0:
+            raise ValueError(f"baseline must be positive: {self.baseline}")
+        if self.surge_factor <= 1.0:
+            raise ValueError(
+                f"surge_factor must exceed 1: {self.surge_factor}"
+            )
+        if self.spike_detector is None:
+            self.spike_detector = PeriodicitySpikeDetector()
+
+    def run(self, arrivals: TimeSeries) -> DetectionReport:
+        threshold = self.baseline * self.surge_factor
+        spans = arrivals.intervals_above(threshold)
+        longest = max((end - start for start, end in spans), default=0.0)
+        if longest >= self.min_surge_duration:
+            return DetectionReport(
+                detector="rate-anomaly",
+                detected=True,
+                score=longest,
+                detail=(
+                    f"sustained surge: {longest:.1f}s above "
+                    f"{threshold:.0f} req/interval"
+                ),
+            )
+        periodic = self.spike_detector.run(arrivals)
+        if periodic.detected:
+            return DetectionReport(
+                detector="rate-anomaly",
+                detected=True,
+                score=periodic.score,
+                detail=f"periodic request bursts: {periodic.detail}",
+            )
+        return DetectionReport(
+            detector="rate-anomaly",
+            detected=False,
+            score=longest,
+            detail="traffic within baseline envelope",
+        )
+
+
+@dataclass
+class CpiDetector:
+    """CPI^2-style detector: flag intervals of inflated cycles/work."""
+
+    cpi_threshold: float = 3.0
+    min_fraction: float = 0.02
+
+    def run(self, cpi: TimeSeries) -> DetectionReport:
+        fraction = cpi.fraction_above(self.cpi_threshold)
+        detected = fraction >= self.min_fraction
+        return DetectionReport(
+            detector=f"cpi(>{self.cpi_threshold})",
+            detected=detected,
+            score=fraction,
+            detail=f"{fraction:.4f} of intervals above CPI threshold",
+        )

@@ -1,0 +1,149 @@
+"""Cloud deployment assembly: hosts, tier VMs, and co-location.
+
+Mirrors the paper's topology (Fig 8): each tier of the target n-tier
+application runs in its own VM on a dedicated host; the adversary rents
+VMs and co-locates them with a chosen tier's host (VM-placement attacks
+are cited as solved prior work, so co-location here is a single call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hardware.memory import MemorySubsystem
+from ..hardware.topology import XEON_E5_2603_V3, CpuSpec, Host
+from ..hardware.vm import VirtualMachine
+from ..ntier.app import NTierApplication
+from ..ntier.tier import Tier
+from ..sim.core import Simulator
+
+__all__ = ["TierConfig", "DeploymentConfig", "CloudDeployment"]
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Static configuration of one tier and its VM."""
+
+    name: str
+    vcpus: int = 2
+    #: The paper's queue size Q_i (threads / DB connections).
+    concurrency: int = 50
+    #: Accept-queue bound; None = inner tier (blocking waiters).
+    max_backlog: Optional[int] = None
+    #: Memory bandwidth the tier's workload wants at full speed (MB/s).
+    mem_demand_mbps: float = 2000.0
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """An n-tier deployment: tier configs front-to-back plus host spec."""
+
+    tiers: Tuple[TierConfig, ...]
+    host_spec: CpuSpec = XEON_E5_2603_V3
+    #: Package each tier VM pins to (None = floating vCPUs).
+    pin_package: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("a deployment needs at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+
+
+#: The paper's RUBBoS 3-tier layout with queue sizes satisfying
+#: Condition 1 (Q_apache > Q_tomcat > Q_mysql).
+def rubbos_3tier(
+    apache_threads: int = 100,
+    apache_backlog: int = 20,
+    tomcat_threads: int = 40,
+    mysql_connections: int = 12,
+    host_spec: CpuSpec = XEON_E5_2603_V3,
+) -> DeploymentConfig:
+    return DeploymentConfig(
+        tiers=(
+            TierConfig(
+                "apache",
+                concurrency=apache_threads,
+                max_backlog=apache_backlog,
+                mem_demand_mbps=1500.0,
+            ),
+            TierConfig("tomcat", concurrency=tomcat_threads,
+                       mem_demand_mbps=1800.0),
+            TierConfig("mysql", concurrency=mysql_connections,
+                       mem_demand_mbps=2000.0),
+        ),
+        host_spec=host_spec,
+    )
+
+
+class CloudDeployment:
+    """A built deployment: one host + VM per tier, wired into an app."""
+
+    def __init__(self, sim: Simulator, config: DeploymentConfig):
+        self.sim = sim
+        self.config = config
+        self.hosts: Dict[str, Host] = {}
+        self.memories: Dict[str, MemorySubsystem] = {}
+        self.vms: Dict[str, VirtualMachine] = {}
+        tiers: List[Tier] = []
+        for index, tier_cfg in enumerate(config.tiers):
+            host = Host(f"host{index + 1}", config.host_spec)
+            memory = MemorySubsystem(host)
+            vm = VirtualMachine(
+                sim,
+                tier_cfg.name,
+                vcpus=tier_cfg.vcpus,
+                mem_demand_mbps=tier_cfg.mem_demand_mbps,
+            )
+            vm.attach(host, memory, package=config.pin_package)
+            self.hosts[tier_cfg.name] = host
+            self.memories[tier_cfg.name] = memory
+            self.vms[tier_cfg.name] = vm
+            tiers.append(
+                Tier(
+                    sim,
+                    tier_cfg.name,
+                    vm,
+                    concurrency=tier_cfg.concurrency,
+                    max_backlog=tier_cfg.max_backlog,
+                )
+            )
+        self.app = NTierApplication(sim, tiers)
+        #: adversary VM name -> (tier co-located with, host, memory).
+        self.adversaries: Dict[str, Tuple[str, Host, MemorySubsystem]] = {}
+
+    def co_locate_adversary(
+        self,
+        tier_name: str,
+        adversary_name: str = "adversary",
+        package: Optional[int] = None,
+    ) -> MemorySubsystem:
+        """Place an adversary VM on the host of ``tier_name``.
+
+        Returns the host's memory subsystem — the attack surface.  The
+        adversary is placed on the same package as the victim by
+        default (the profiling of Section III shows same-package
+        placement maximizes contention).
+        """
+        if tier_name not in self.hosts:
+            raise KeyError(f"no tier named {tier_name!r}")
+        host = self.hosts[tier_name]
+        memory = self.memories[tier_name]
+        if package is None:
+            package = self.config.pin_package
+        host.place(adversary_name, package=package)
+        self.adversaries[adversary_name] = (tier_name, host, memory)
+        return memory
+
+    def tier(self, name: str) -> Tier:
+        return self.app.tier(name)
+
+    def vm(self, name: str) -> VirtualMachine:
+        return self.vms[name]
+
+    @property
+    def bottleneck(self) -> Tier:
+        """The back-most tier (MySQL in the paper's deployments)."""
+        return self.app.back

@@ -1,0 +1,134 @@
+"""Experiment harness: one module per paper figure/table (DESIGN.md §3)."""
+
+from .ablation import (
+    SweepPoint,
+    SweepResult,
+    compare_attack_programs,
+    condition1_ablation,
+    dual_tier_attack,
+    rpc_vs_tandem,
+    sweep_burst_length,
+    sweep_degradation,
+    sweep_interval,
+    sweep_service_distribution,
+    sweep_target_tier,
+)
+from .baselines import (
+    BaselineComparison,
+    BaselineRow,
+    run_baseline_comparison,
+)
+from .capacity import (
+    CapacityPoint,
+    CapacityResult,
+    run_capacity_validation,
+)
+from .configs import (
+    EC2_CLOUD,
+    MODEL_3TIER,
+    PRIVATE_CLOUD,
+    AttackSpec,
+    ModelScenario,
+    RubbosScenario,
+    model_system,
+)
+from .controller import ControllerResult, run_controller
+from .defense import DefenseResult, run_defense
+from .dial import DialCase, DialResult, run_dial
+from .fig2 import Fig2Result, run_fig2, run_fig2_both
+from .fig3 import Fig3Result, measure_bandwidth_scenario, run_fig3
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import Fig11Result, run_fig11
+from .overhead import OverheadPoint, OverheadResult, run_overhead_study
+from .placement import (
+    PlacementStudy,
+    PlacementStudyRow,
+    run_campaign,
+    run_placement_study,
+)
+from .runner import (
+    MODEL_MODES,
+    ModelRun,
+    RubbosRun,
+    make_attack_program,
+    run_model,
+    run_rubbos,
+)
+from .validation import (
+    BurstMeasurement,
+    ValidationResult,
+    ValidationRow,
+    measure_bursts,
+    run_validation,
+)
+
+__all__ = [
+    "AttackSpec",
+    "BaselineComparison",
+    "BaselineRow",
+    "BurstMeasurement",
+    "CapacityPoint",
+    "CapacityResult",
+    "ControllerResult",
+    "DefenseResult",
+    "DialCase",
+    "DialResult",
+    "EC2_CLOUD",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig9Result",
+    "MODEL_3TIER",
+    "MODEL_MODES",
+    "ModelRun",
+    "ModelScenario",
+    "OverheadPoint",
+    "OverheadResult",
+    "PRIVATE_CLOUD",
+    "PlacementStudy",
+    "PlacementStudyRow",
+    "RubbosRun",
+    "RubbosScenario",
+    "SweepPoint",
+    "SweepResult",
+    "ValidationResult",
+    "ValidationRow",
+    "compare_attack_programs",
+    "condition1_ablation",
+    "dual_tier_attack",
+    "make_attack_program",
+    "measure_bandwidth_scenario",
+    "measure_bursts",
+    "model_system",
+    "rpc_vs_tandem",
+    "run_baseline_comparison",
+    "run_capacity_validation",
+    "run_controller",
+    "run_defense",
+    "run_dial",
+    "run_fig10",
+    "run_fig11",
+    "run_fig2",
+    "run_fig2_both",
+    "run_fig3",
+    "run_fig6",
+    "run_fig7",
+    "run_fig9",
+    "run_campaign",
+    "run_model",
+    "run_overhead_study",
+    "run_placement_study",
+    "run_rubbos",
+    "run_validation",
+    "sweep_burst_length",
+    "sweep_degradation",
+    "sweep_interval",
+    "sweep_service_distribution",
+    "sweep_target_tier",
+]

@@ -1,0 +1,454 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each sweep answers a "what actually makes MemCA work?" question:
+
+* burst length L — the damage/stealth trade-off (Eqs. 7 and 10);
+* burst interval I — the damaged fraction rho = P_D / I (Eq. 8);
+* degradation index D — the Condition 2 threshold (no fill-up once
+  ``C_on`` exceeds the arrival rate);
+* queue-size ordering — Condition 1 on vs off;
+* synchronous RPC vs tandem — the amplification mechanism itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..model.parameters import AttackBurst, ModelError
+from ..model.attack_model import analyze
+from .configs import MODEL_3TIER, ModelScenario, model_system
+from .runner import run_model
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_burst_length",
+    "sweep_interval",
+    "sweep_degradation",
+    "condition1_ablation",
+    "rpc_vs_tandem",
+    "compare_attack_programs",
+    "sweep_target_tier",
+    "sweep_service_distribution",
+    "dual_tier_attack",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep configuration and its measured outcome."""
+
+    label: str
+    client_p95: float
+    client_p99: float
+    fraction_above_rto: float
+    drops: int
+    mean_mysql_util: float
+    predicted_rho: Optional[float]
+
+
+@dataclass
+class SweepResult:
+    title: str
+    points: List[SweepPoint]
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.label,
+                p.client_p95,
+                p.client_p99,
+                p.fraction_above_rto,
+                p.drops,
+                p.mean_mysql_util,
+                "-" if p.predicted_rho is None else f"{p.predicted_rho:.3f}",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["config", "p95 (s)", "p99 (s)", ">RTO frac", "drops",
+             "mysql util", "model rho"],
+            rows,
+            title=self.title,
+            float_format="{:.3f}",
+        )
+
+
+def _measure_point(
+    scenario: ModelScenario, label: str, mode: str = "attack-finite"
+) -> SweepPoint:
+    run = run_model(scenario, mode)
+    requests = run.client_requests()
+    rts = np.array(
+        [r.response_time for r in requests if r.response_time is not None]
+    )
+    system = model_system(scenario)
+    try:
+        predicted = analyze(
+            system, scenario.burst, conservative=True
+        ).rho
+    except ModelError:
+        predicted = 0.0
+    return SweepPoint(
+        label=label,
+        client_p95=float(np.percentile(rts, 95)) if len(rts) else float("nan"),
+        client_p99=float(np.percentile(rts, 99)) if len(rts) else float("nan"),
+        fraction_above_rto=float(np.mean(rts > 1.0)) if len(rts) else 0.0,
+        drops=run.app.front.drops,
+        mean_mysql_util=run.mysql_monitor.series.mean(),
+        predicted_rho=predicted,
+    )
+
+
+def sweep_burst_length(
+    lengths: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    scenario: ModelScenario = MODEL_3TIER,
+) -> SweepResult:
+    """Longer bursts: more damage per burst, longer millibottleneck."""
+    points = []
+    for length in lengths:
+        burst = AttackBurst(
+            D=scenario.burst.D, L=length, I=scenario.burst.I
+        )
+        variant = replace(scenario, burst=burst)
+        points.append(_measure_point(variant, f"L={length * 1e3:.0f}ms"))
+    return SweepResult("Ablation: burst length L (damage vs stealth)", points)
+
+
+def sweep_interval(
+    intervals: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    scenario: ModelScenario = MODEL_3TIER,
+) -> SweepResult:
+    """Longer intervals dilute rho = P_D / I."""
+    points = []
+    for interval in intervals:
+        burst = AttackBurst(
+            D=scenario.burst.D, L=scenario.burst.L, I=interval
+        )
+        variant = replace(scenario, burst=burst)
+        points.append(_measure_point(variant, f"I={interval:g}s"))
+    return SweepResult("Ablation: burst interval I (rho dilution)", points)
+
+
+def sweep_degradation(
+    degradations: Sequence[float] = (0.05, 0.1, 0.3, 0.6),
+    scenario: ModelScenario = MODEL_3TIER,
+) -> SweepResult:
+    """Condition 2: damage vanishes once C_on exceeds lambda.
+
+    With lambda=300 and C_off=600, the threshold is D=0.5: above it the
+    degraded bottleneck still keeps up and queues never fill.
+    """
+    points = []
+    for d in degradations:
+        burst = AttackBurst(D=d, L=scenario.burst.L, I=scenario.burst.I)
+        variant = replace(scenario, burst=burst)
+        points.append(_measure_point(variant, f"D={d:g}"))
+    return SweepResult("Ablation: degradation index D (Condition 2)", points)
+
+
+def condition1_ablation(
+    scenario: ModelScenario = MODEL_3TIER,
+) -> SweepResult:
+    """Queue ordering Q1 > Q2 > Q3 vs. an inverted back-heavy ordering.
+
+    Condition 1 is what makes the closed-form fill *sequence* of
+    Eqs. 4-6 well-defined; the DES shows the client-side damage is
+    governed by the front tier's cap either way (an oversized
+    bottleneck queue simply never visibly fills — its waiters are
+    pinned upstream).  The inverted case therefore still hurts clients
+    but breaks the model's per-tier fill accounting (rho is reported
+    as 0 because Condition 1 fails).
+    """
+    ordered = scenario
+    inverted = replace(
+        scenario,
+        queue_sizes=(scenario.queue_sizes[0], scenario.queue_sizes[1], 50),
+    )
+    q_o = ordered.queue_sizes
+    q_i = inverted.queue_sizes
+    return SweepResult(
+        "Ablation: Condition 1 (queue-size ordering)",
+        [
+            _measure_point(ordered, f"Q={q_o} ordered"),
+            _measure_point(inverted, f"Q={q_i} inverted"),
+        ],
+    )
+
+
+def rpc_vs_tandem(scenario: ModelScenario = MODEL_3TIER) -> SweepResult:
+    """The amplification mechanism: synchronous RPC vs tandem stations."""
+    return SweepResult(
+        "Ablation: inter-tier coupling (sync RPC vs tandem)",
+        [
+            _measure_point(scenario, "sync RPC, finite queues"),
+            _measure_point(scenario, "tandem stations", mode="tandem"),
+        ],
+    )
+
+
+def _measure_rubbos_point(scenario, label: str) -> SweepPoint:
+    """One RUBBoS-scenario sweep point (closed-loop, real workload)."""
+    from .runner import run_rubbos  # local import: avoids a cycle
+
+    run = run_rubbos(scenario)
+    requests = run.client_requests()
+    rts = np.array(
+        [r.response_time for r in requests if r.response_time is not None]
+    )
+    return SweepPoint(
+        label=label,
+        client_p95=float(np.percentile(rts, 95)) if len(rts) else float("nan"),
+        client_p99=float(np.percentile(rts, 99)) if len(rts) else float("nan"),
+        fraction_above_rto=float(np.mean(rts > 1.0)) if len(rts) else 0.0,
+        drops=run.app.front.drops,
+        mean_mysql_util=run.util_monitors["mysql"].series.mean(),
+        predicted_rho=None,
+    )
+
+
+def compare_attack_programs(duration: float = 45.0) -> SweepResult:
+    """All three attack programs at equal burst schedules.
+
+    Lock (scheduling-based contention) should dominate; bus saturation
+    (bandwidth contention, 4 VMs) comes second; LLC cleansing
+    (storage-based contention) is the gentlest — consistent with the
+    Section III profiling and the cited prior-work taxonomy.
+    """
+    from .configs import PRIVATE_CLOUD  # local import: avoids a cycle
+
+    points = []
+    for program, adversaries in (
+        ("lock", 1), ("saturate", 4), ("cleanse", 4)
+    ):
+        scenario = replace(
+            PRIVATE_CLOUD,
+            name=f"programs/{program}",
+            duration=duration,
+            attack=replace(
+                PRIVATE_CLOUD.attack,
+                program=program,
+                adversaries=adversaries,
+            ),
+        )
+        points.append(
+            _measure_rubbos_point(
+                scenario, f"{program} x{adversaries} VM(s)"
+            )
+        )
+    return SweepResult("Ablation: attack program comparison", points)
+
+
+def sweep_service_distribution(duration: float = 45.0) -> SweepResult:
+    """Does tail amplification survive non-exponential demands?
+
+    The closed-form model assumes exponential service; the attack
+    mechanism (queue overflow + thread pinning + TCP drops) does not
+    care about the service law.  This sweep re-runs the headline
+    scenario with deterministic, exponential, lognormal, and Pareto
+    demands at equal means.
+    """
+    from dataclasses import replace as _replace
+
+    from ..sim.rng import RandomStreams
+    from ..workload.distributions import (
+        BoundedPareto,
+        Deterministic,
+        Exponential,
+        LogNormal,
+    )
+    from ..workload.rubbos import RubbosWorkload
+    from ..ntier.client import UserPopulation
+    from ..cloud.platform import CloudDeployment, rubbos_3tier
+    from ..core.attack import MemCAAttack
+    from ..monitoring.sampler import UtilizationMonitor
+    from ..sim.core import Simulator
+    from .configs import PRIVATE_CLOUD
+
+    scenario = _replace(PRIVATE_CLOUD, duration=duration)
+    points = []
+    for distribution in (
+        Deterministic(),
+        Exponential(),
+        LogNormal(sigma=1.0),
+        BoundedPareto(alpha=1.8),
+    ):
+        streams = RandomStreams(scenario.seed)
+        sim = Simulator()
+        deployment = CloudDeployment(
+            sim,
+            rubbos_3tier(
+                apache_threads=scenario.apache_threads,
+                apache_backlog=scenario.apache_backlog,
+                tomcat_threads=scenario.tomcat_threads,
+                mysql_connections=scenario.mysql_connections,
+                host_spec=scenario.host_spec,
+            ),
+        )
+        workload = RubbosWorkload(
+            rng=streams.get("workload"), distribution=distribution
+        )
+        UserPopulation(
+            sim, deployment.app, workload.make_request,
+            users=scenario.users, think_time=scenario.think_time,
+            rng=streams.get("users"),
+        ).start()
+        monitor = UtilizationMonitor(
+            sim, deployment.vm("mysql").cpu, interval=0.05
+        )
+        monitor.start()
+        spec = scenario.attack
+        MemCAAttack(
+            sim, deployment,
+            length=spec.length, interval=spec.interval,
+            intensity=spec.intensity, jitter=spec.jitter,
+            rng=streams.get("attack"),
+        ).launch()
+        sim.run(until=scenario.duration)
+        requests = [
+            r for r in deployment.app.completed
+            if r.t_done is not None and r.t_done >= scenario.warmup
+        ]
+        rts = np.array([r.response_time for r in requests])
+        points.append(
+            SweepPoint(
+                label=distribution.name,
+                client_p95=float(np.percentile(rts, 95)),
+                client_p99=float(np.percentile(rts, 99)),
+                fraction_above_rto=float(np.mean(rts > 1.0)),
+                drops=deployment.app.front.drops,
+                mean_mysql_util=monitor.series.mean(),
+                predicted_rho=None,
+            )
+        )
+    return SweepResult(
+        "Ablation: service-demand distribution (equal means)", points
+    )
+
+
+def dual_tier_attack(duration: float = 45.0) -> SweepResult:
+    """Can attack intensity be *split* across tiers?  (No.)
+
+    "A MemCA attack only requires one or a few adversary VMs co-located
+    with any component VMs in the critical path" — so compare: one
+    full-intensity attacker on MySQL; two full-intensity attackers on
+    MySQL and Tomcat staggered by half an interval; and two
+    *half*-intensity attackers likewise.  The split case collapses:
+    Condition 2 is a threshold (``C_on < lambda``), so halving the lock
+    duty on each host leaves both tiers able to keep up — intensity
+    does not add across hosts.  Full-intensity on two tiers, by
+    contrast, doubles the damaged fraction (two millibottlenecks per
+    interval).
+    """
+    from dataclasses import replace as _replace
+
+    from ..core.attack import MemCAAttack
+    from ..monitoring.sampler import UtilizationMonitor
+    from ..sim.rng import RandomStreams
+    from ..sim.core import Simulator
+    from ..ntier.client import UserPopulation
+    from ..cloud.platform import CloudDeployment, rubbos_3tier
+    from ..workload.rubbos import RubbosWorkload
+    from .configs import PRIVATE_CLOUD
+
+    scenario = _replace(PRIVATE_CLOUD, duration=duration)
+
+    def run_case(targets):
+        streams = RandomStreams(scenario.seed)
+        sim = Simulator()
+        deployment = CloudDeployment(
+            sim,
+            rubbos_3tier(
+                apache_threads=scenario.apache_threads,
+                apache_backlog=scenario.apache_backlog,
+                tomcat_threads=scenario.tomcat_threads,
+                mysql_connections=scenario.mysql_connections,
+                host_spec=scenario.host_spec,
+            ),
+        )
+        workload = RubbosWorkload(rng=streams.get("workload"))
+        UserPopulation(
+            sim, deployment.app, workload.make_request,
+            users=scenario.users, think_time=scenario.think_time,
+            rng=streams.get("users"),
+        ).start()
+        monitor = UtilizationMonitor(
+            sim, deployment.vm("mysql").cpu, interval=0.05
+        )
+        monitor.start()
+        for index, (tier, intensity, phase) in enumerate(targets):
+            attack = MemCAAttack(
+                sim, deployment,
+                length=scenario.attack.length,
+                interval=scenario.attack.interval,
+                intensity=intensity,
+                target_tier=tier,
+                adversary_name=f"adversary-{tier}",
+                jitter=scenario.attack.jitter,
+                rng=streams.get(f"attack-{index}"),
+            )
+            if phase > 0:
+                sim.call_in(phase, attack.launch)
+            else:
+                attack.launch()
+        sim.run(until=scenario.duration)
+        requests = [
+            r for r in deployment.app.completed
+            if r.t_done is not None and r.t_done >= scenario.warmup
+        ]
+        rts = np.array([r.response_time for r in requests])
+        return SweepPoint(
+            label="+".join(t for t, _i, _p in targets),
+            client_p95=float(np.percentile(rts, 95)),
+            client_p99=float(np.percentile(rts, 99)),
+            fraction_above_rto=float(np.mean(rts > 1.0)),
+            drops=deployment.app.front.drops,
+            mean_mysql_util=monitor.series.mean(),
+            predicted_rho=None,
+        )
+
+    def labelled(point: SweepPoint, label: str) -> SweepPoint:
+        return SweepPoint(**{**point.__dict__, "label": label})
+
+    half = scenario.attack.interval / 2.0
+    points = [
+        labelled(run_case([("mysql", 1.0, 0.0)]), "mysql @ full"),
+        labelled(
+            run_case([("mysql", 1.0, 0.0), ("tomcat", 1.0, half)]),
+            "mysql+tomcat @ full, staggered",
+        ),
+        labelled(
+            run_case([("mysql", 0.55, 0.0), ("tomcat", 0.55, half)]),
+            "mysql+tomcat @ 0.55 (split)",
+        ),
+    ]
+    return SweepResult(
+        "Ablation: multi-tier adversaries (intensity does not split)",
+        points,
+    )
+
+
+def sweep_target_tier(duration: float = 45.0) -> SweepResult:
+    """Attack each tier's host in turn (threat model: any critical-path
+    VM is a target).
+
+    MySQL — the bottleneck — is the most damaging target; Tomcat hurts
+    less (more headroom); Apache barely at all (its degraded capacity
+    still exceeds the arrival rate: Condition 2 fails).
+    """
+    from .configs import PRIVATE_CLOUD  # local import: avoids a cycle
+
+    points = []
+    for tier in ("mysql", "tomcat", "apache"):
+        scenario = replace(
+            PRIVATE_CLOUD,
+            name=f"target/{tier}",
+            duration=duration,
+            attack=replace(PRIVATE_CLOUD.attack, target_tier=tier),
+        )
+        points.append(_measure_rubbos_point(scenario, f"target={tier}"))
+    return SweepResult("Ablation: which tier to co-locate with", points)

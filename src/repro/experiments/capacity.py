@@ -1,0 +1,134 @@
+"""Baseline capacity validation: MVA predictions vs. the simulator.
+
+Before trusting the attack results, validate the substrate itself: the
+no-attack closed-loop RUBBoS system should match Mean Value Analysis on
+throughput, response time, and bottleneck utilization across population
+sizes.  This also produces the defender's capacity curve — where the
+knee is, and how far below it the paper's operating point sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.report import format_table
+from ..model.mva import MvaResult, Station, mva, saturation_population
+from .configs import PRIVATE_CLOUD, RubbosScenario
+from .runner import run_rubbos
+
+__all__ = ["CapacityPoint", "CapacityResult", "run_capacity_validation",
+           "mva_stations_for"]
+
+
+def mva_stations_for(scenario: RubbosScenario, workload) -> List[Station]:
+    """MVA stations matching a RUBBoS scenario's workload means."""
+    return [
+        Station(
+            tier,
+            demand=workload.mean_demand(tier),
+            servers=2,  # each tier VM has 2 vCPUs in the scenarios
+        )
+        for tier in ("apache", "tomcat", "mysql")
+    ]
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One population size: measured vs. predicted steady state."""
+
+    users: int
+    measured_throughput: float
+    predicted_throughput: float
+    measured_mysql_util: float
+    predicted_mysql_util: float
+    measured_mean_rt: float
+    predicted_mean_rt: float
+
+    @property
+    def throughput_error(self) -> float:
+        return abs(
+            self.measured_throughput - self.predicted_throughput
+        ) / self.predicted_throughput
+
+
+@dataclass
+class CapacityResult:
+    scenario: RubbosScenario
+    points: List[CapacityPoint]
+    knee: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.users,
+                p.measured_throughput,
+                p.predicted_throughput,
+                p.measured_mysql_util,
+                p.predicted_mysql_util,
+                p.measured_mean_rt * 1e3,
+                p.predicted_mean_rt * 1e3,
+            ]
+            for p in self.points
+        ]
+        table = format_table(
+            ["users", "X meas (r/s)", "X mva", "util meas", "util mva",
+             "R meas (ms)", "R mva (ms)"],
+            rows,
+            title="Baseline capacity: DES vs Mean Value Analysis",
+            float_format="{:.3g}",
+        )
+        return (
+            f"{table}\n"
+            f"saturation knee N* ~= {self.knee:.0f} users "
+            f"(paper operates at 3500, well below)"
+        )
+
+    def within(self, tolerance: float = 0.15) -> bool:
+        return all(p.throughput_error <= tolerance for p in self.points)
+
+
+def run_capacity_validation(
+    scenario: Optional[RubbosScenario] = None,
+    populations: Tuple[int, ...] = (1000, 2600, 4500),
+    duration: float = 40.0,
+) -> CapacityResult:
+    """Run the no-attack baseline at several populations vs MVA."""
+    base = scenario or PRIVATE_CLOUD
+    points = []
+    knee = 0.0
+    for users in populations:
+        variant = replace(
+            base,
+            name=f"capacity/{users}",
+            users=users,
+            duration=duration,
+            attack=None,
+        )
+        run = run_rubbos(variant)
+        stations = mva_stations_for(variant, run.workload)
+        knee = saturation_population(stations, variant.think_time)
+        predicted = mva(stations, users, variant.think_time)
+        window = variant.duration - variant.warmup
+        requests = run.client_requests()
+        rts = np.array(
+            [r.response_time for r in requests
+             if r.response_time is not None]
+        )
+        mysql_util = run.util_monitors["mysql"].series.between(
+            variant.warmup, variant.duration
+        ).mean()
+        points.append(
+            CapacityPoint(
+                users=users,
+                measured_throughput=len(requests) / window,
+                predicted_throughput=predicted.throughput,
+                measured_mysql_util=mysql_util,
+                predicted_mysql_util=predicted.utilizations["mysql"],
+                measured_mean_rt=float(np.mean(rts)),
+                predicted_mean_rt=predicted.response_time,
+            )
+        )
+    return CapacityResult(scenario=base, points=points, knee=knee)

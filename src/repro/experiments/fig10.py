@@ -1,0 +1,113 @@
+"""Figure 10: stealthiness under cloud elasticity (sampling granularity).
+
+The same MySQL CPU signal viewed three ways: 1-minute CloudWatch
+averages (flat and moderate — Auto Scaling never triggers), 1-second
+samples (mild fluctuation — still no trigger), and 50 ms samples (the
+transient saturations finally visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..analysis.plot import ascii_timeseries
+from ..analysis.report import format_series, format_table
+from ..cloud.autoscaling import AutoScalingPolicy, ScalingEvent
+from ..monitoring.metrics import TimeSeries
+from ..monitoring.sampler import GRANULARITIES
+from .configs import PRIVATE_CLOUD, RubbosScenario
+from .runner import RubbosRun, run_rubbos
+
+__all__ = ["Fig10Result", "run_fig10"]
+
+
+@dataclass
+class Fig10Result:
+    """The three granularity views plus the auto-scaling verdict."""
+
+    scenario: RubbosScenario
+    views: Dict[str, TimeSeries]
+    policy: AutoScalingPolicy
+    scaling_events: List[ScalingEvent]
+    run: RubbosRun
+
+    @property
+    def bypassed_autoscaling(self) -> bool:
+        return not self.scaling_events
+
+    def render(self) -> str:
+        rows = []
+        for name, series in self.views.items():
+            rows.append(
+                [
+                    name,
+                    len(series),
+                    series.mean(),
+                    series.max(),
+                    series.fraction_above(self.policy.threshold),
+                ]
+            )
+        table = format_table(
+            ["granularity", "samples", "mean util", "max util",
+             f"frac > {self.policy.threshold:.0%}"],
+            rows,
+            title="Fig 10: MySQL CPU utilization by monitoring granularity",
+            float_format="{:.3f}",
+        )
+        verdict = (
+            "Auto Scaling NOT triggered (stealth goal met)"
+            if self.bypassed_autoscaling
+            else f"Auto Scaling TRIGGERED {len(self.scaling_events)} time(s)"
+        )
+        fine = self.views["ultrafine_50ms"]
+        snapshot = fine.between(fine.times[0], fine.times[0] + 8.0)
+        detail = format_series(
+            "50ms view (first 8s)",
+            list(snapshot.times),
+            list(snapshot.values),
+            value_format="{:.2f}",
+        )
+        window_end = fine.times[0] + 20.0
+        chart = ascii_timeseries(
+            {
+                "50ms": fine.between(fine.times[0], window_end),
+                "1s": self.views["fine_1s"].between(
+                    fine.times[0], window_end
+                ),
+            },
+            title="Fig 10: MySQL CPU utilization, first 20 s",
+            y_label="utilization",
+        )
+        return f"{table}\n{verdict}\n{detail}\n{chart}"
+
+
+def run_fig10(
+    scenario: Optional[RubbosScenario] = None,
+    policy: AutoScalingPolicy = AutoScalingPolicy(),
+    run: Optional[RubbosRun] = None,
+) -> Fig10Result:
+    """Run a multi-minute attack and view it at three granularities."""
+    if run is None:
+        if scenario is None:
+            # Long enough for meaningful 1-minute CloudWatch samples.
+            scenario = replace(PRIVATE_CLOUD, duration=185.0)
+        run = run_rubbos(scenario)
+    else:
+        scenario = run.scenario
+    fine = run.util_monitors["mysql"].series.between(
+        scenario.warmup, scenario.duration
+    )
+    views = {
+        "ultrafine_50ms": fine,
+        "fine_1s": fine.resample(GRANULARITIES["fine_1s"]),
+        "cloudwatch_1min": fine.resample(GRANULARITIES["cloudwatch_1min"]),
+    }
+    events = policy.evaluate(fine)
+    return Fig10Result(
+        scenario=scenario,
+        views=views,
+        policy=policy,
+        scaling_events=events,
+        run=run,
+    )

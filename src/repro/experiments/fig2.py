@@ -1,0 +1,93 @@
+"""Figure 2: tail response-time amplification per tier, both clouds.
+
+The headline result: under MemCA each tier's percentile response time
+curves upward nonlinearly, amplifying from the back-end MySQL through
+Tomcat and Apache to the clients, whose 95th/98th percentiles exceed
+1 s / 2 s while the median stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..analysis.plot import ascii_percentiles
+from ..analysis.report import format_percentile_curves
+from ..analysis.stats import (
+    PercentileCurve,
+    client_percentile_curve,
+    tier_percentile_curves,
+)
+from ..core.attack import AttackEffect
+from .configs import EC2_CLOUD, PRIVATE_CLOUD, RubbosScenario
+from .runner import RubbosRun, run_rubbos
+
+__all__ = ["Fig2Result", "run_fig2", "run_fig2_both", "TIER_ORDER"]
+
+#: Front-of-figure ordering: client curve on top of the tier curves.
+TIER_ORDER = ("client", "apache", "tomcat", "mysql")
+
+#: The paper's percentile grid emphasises the tail.
+PERCENTILES = (50, 75, 90, 95, 98, 99)
+
+
+@dataclass
+class Fig2Result:
+    """Per-tier and client percentile curves for one environment."""
+
+    environment: str
+    curves: Dict[str, PercentileCurve]
+    effect: Optional[AttackEffect]
+    run: RubbosRun
+
+    def render(self) -> str:
+        body = format_percentile_curves(
+            self.curves,
+            order=TIER_ORDER,
+            title=f"Fig 2 ({self.environment}): percentile response time",
+        )
+        if self.effect is not None:
+            body += f"\n{self.effect.summary()}"
+        body += "\n" + ascii_percentiles(
+            self.curves, order=TIER_ORDER,
+            title=f"Fig 2 ({self.environment})",
+        )
+        return body
+
+    def amplified(self, percentile: float = 95.0) -> bool:
+        """Client tail exceeds the bottleneck tier's tail."""
+        return self.curves["client"].at(percentile) > self.curves[
+            "mysql"
+        ].at(percentile)
+
+
+def run_fig2(
+    scenario: RubbosScenario = PRIVATE_CLOUD,
+    duration: Optional[float] = None,
+) -> Fig2Result:
+    """One environment's Fig 2 panel."""
+    if duration is not None:
+        scenario = replace(scenario, duration=duration)
+    run = run_rubbos(scenario)
+    requests = run.client_requests()
+    curves = tier_percentile_curves(
+        requests, ("apache", "tomcat", "mysql"), PERCENTILES
+    )
+    curves["client"] = client_percentile_curve(requests, PERCENTILES)
+    effect = (
+        run.attack.effect(percentiles=PERCENTILES)
+        if run.attack is not None
+        else None
+    )
+    return Fig2Result(
+        environment=scenario.name, curves=curves, effect=effect, run=run
+    )
+
+
+def run_fig2_both(
+    duration: Optional[float] = None,
+) -> Tuple[Fig2Result, Fig2Result]:
+    """Both panels: (a) Amazon EC2, (b) private cloud."""
+    ec2 = run_fig2(EC2_CLOUD, duration=duration)
+    private = run_fig2(PRIVATE_CLOUD, duration=duration)
+    return ec2, private

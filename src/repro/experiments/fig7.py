@@ -1,0 +1,109 @@
+"""Figure 7: tail response-time amplification across the three models.
+
+Same burst parameters (D=0.1, L=100 ms, I=2 s), three service
+disciplines:
+
+* (a) tandem queue with infinite queues — per-tier percentile curves
+  nearly overlap (all queueing is at MySQL);
+* (b) attack model (synchronous RPC) with an infinite front queue —
+  Apache/client percentiles amplify via cross-tier queue overflow, but
+  nothing is dropped;
+* (c) attack model with finite queues — requests are dropped at the
+  front tier during hold-on and clients eat >= 1 s TCP retransmissions,
+  producing the tallest peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.report import format_percentile_curves
+from ..analysis.stats import (
+    PercentileCurve,
+    client_percentile_curve,
+    tier_percentile_curves,
+)
+from .configs import MODEL_3TIER, ModelScenario
+from .runner import run_model
+
+__all__ = ["Fig7Result", "run_fig7", "CASES"]
+
+CASES = {
+    "tandem": "tandem",
+    "attack-infinite-front": "attack-infinite-front",
+    "attack-finite": "attack-finite",
+}
+
+PERCENTILES = (50, 75, 90, 95, 97, 98, 99, 99.5)
+
+
+@dataclass
+class Fig7Result:
+    """Percentile curves per case, keyed by case then series name."""
+
+    scenario: ModelScenario
+    cases: Dict[str, Dict[str, PercentileCurve]]
+    drops: Dict[str, int]
+
+    def render(self) -> str:
+        order = ("client",) + tuple(self.scenario.tier_names)
+        blocks = []
+        panel = {"tandem": "a", "attack-infinite-front": "b",
+                 "attack-finite": "c"}
+        for case, curves in self.cases.items():
+            title = (
+                f"Fig 7{panel[case]} ({case}): percentile response time "
+                f"[drops={self.drops[case]}]"
+            )
+            blocks.append(
+                format_percentile_curves(curves, order=order, title=title)
+            )
+        return "\n\n".join(blocks)
+
+    # -- the figure's three claims ------------------------------------------
+
+    def tandem_curves_overlap(self, percentile: float = 99.0) -> bool:
+        """7a: client and all tier curves nearly coincide."""
+        curves = self.cases["tandem"]
+        values = [
+            curves[name].at(percentile)
+            for name in ("client",) + tuple(self.scenario.tier_names)
+        ]
+        return max(values) <= 1.5 * min(values) + 1e-3
+
+    def amplification_without_drops(self, percentile: float = 99.0) -> bool:
+        """7b: client tail exceeds bottleneck tail, with no drops."""
+        curves = self.cases["attack-infinite-front"]
+        back = self.scenario.tier_names[-1]
+        return (
+            self.drops["attack-infinite-front"] == 0
+            and curves["client"].at(percentile)
+            > curves[back].at(percentile)
+        )
+
+    def finite_queues_worst_for_clients(
+        self, percentile: float = 99.0
+    ) -> bool:
+        """7c: the finite-queue client peak dominates both other cases."""
+        finite = self.cases["attack-finite"]["client"].at(percentile)
+        return finite >= max(
+            self.cases[c]["client"].at(percentile)
+            for c in ("tandem", "attack-infinite-front")
+        )
+
+
+def run_fig7(scenario: ModelScenario = MODEL_3TIER) -> Fig7Result:
+    """Run all three cases and compute their percentile curves."""
+    cases: Dict[str, Dict[str, PercentileCurve]] = {}
+    drops: Dict[str, int] = {}
+    for case, mode in CASES.items():
+        run = run_model(scenario, mode)
+        requests = run.client_requests()
+        curves = tier_percentile_curves(
+            requests, scenario.tier_names, PERCENTILES
+        )
+        curves["client"] = client_percentile_curve(requests, PERCENTILES)
+        cases[case] = curves
+        drops[case] = run.app.front.drops
+    return Fig7Result(scenario=scenario, cases=cases, drops=drops)

@@ -1,0 +1,321 @@
+"""Shared experiment machinery: build, run, and package a scenario.
+
+``run_rubbos`` executes a closed-loop RUBBoS scenario (with or without
+MemCA) and returns a :class:`RubbosRun` carrying the application, the
+attack handle, and all monitors.  ``run_model`` executes an open-loop
+queueing-network scenario in one of the three service disciplines the
+paper's Figs 6/7 compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cloud.platform import CloudDeployment, DeploymentConfig, TierConfig, rubbos_3tier
+from ..core.attack import MemCAAttack
+from ..core.burst import OnOffAttacker
+from ..core.programs import (
+    AttackProgram,
+    LLCCleansingAttack,
+    MemoryBusSaturation,
+    MemoryLockAttack,
+)
+from ..monitoring.oprofile import LLCMissProfiler
+from ..monitoring.sampler import PeriodicSampler, UtilizationMonitor
+from ..ntier.request import Request
+from ..ntier.client import UserPopulation
+from ..sim.core import Simulator
+from ..sim.rng import RandomStreams
+from ..workload.generator import OpenLoopGenerator, exponential_request_factory
+from ..workload.rubbos import RubbosWorkload
+from .configs import AttackSpec, ModelScenario, RubbosScenario
+
+__all__ = [
+    "RubbosRun",
+    "run_rubbos",
+    "ModelRun",
+    "run_model",
+    "MODEL_MODES",
+    "make_attack_program",
+]
+
+
+def make_attack_program(
+    spec: AttackSpec, host_bandwidth_mbps: float
+) -> AttackProgram:
+    """Instantiate the attack program a spec names."""
+    if spec.program == "lock":
+        return MemoryLockAttack()
+    if spec.program == "saturate":
+        return MemoryBusSaturation(
+            stream_bandwidth_mbps=host_bandwidth_mbps
+        )
+    if spec.program == "cleanse":
+        return LLCCleansingAttack()
+    raise ValueError(f"unknown attack program {spec.program!r}")
+
+
+@dataclass
+class RubbosRun:
+    """Everything a figure generator needs from one RUBBoS run."""
+
+    scenario: RubbosScenario
+    sim: Simulator
+    deployment: CloudDeployment
+    workload: RubbosWorkload
+    population: UserPopulation
+    attack: Optional[MemCAAttack]
+    util_monitors: Dict[str, UtilizationMonitor]
+    queue_sampler: PeriodicSampler
+    llc_profiler: Optional[LLCMissProfiler]
+
+    @property
+    def app(self):
+        return self.deployment.app
+
+    def client_requests(self) -> List[Request]:
+        """Completed requests that finished after warmup."""
+        return [
+            r
+            for r in self.app.completed
+            if r.t_done is not None and r.t_done >= self.scenario.warmup
+        ]
+
+    @property
+    def measured_window(self) -> float:
+        return self.scenario.duration - self.scenario.warmup
+
+
+def run_rubbos(
+    scenario: RubbosScenario,
+    collect_llc: bool = False,
+    feedback_goals=None,
+) -> RubbosRun:
+    """Build and execute one closed-loop RUBBoS scenario."""
+    streams = RandomStreams(scenario.seed)
+    sim = Simulator()
+    deployment = CloudDeployment(
+        sim,
+        rubbos_3tier(
+            apache_threads=scenario.apache_threads,
+            apache_backlog=scenario.apache_backlog,
+            tomcat_threads=scenario.tomcat_threads,
+            mysql_connections=scenario.mysql_connections,
+            host_spec=scenario.host_spec,
+        ),
+    )
+    workload = RubbosWorkload(rng=streams.get("workload"))
+    population = UserPopulation(
+        sim,
+        deployment.app,
+        workload.make_request,
+        users=scenario.users,
+        think_time=scenario.think_time,
+        rng=streams.get("users"),
+    )
+    population.start()
+
+    util_monitors = {}
+    for tier_name, vm in deployment.vms.items():
+        monitor = UtilizationMonitor(
+            sim, vm.cpu, interval=scenario.monitor_interval
+        )
+        monitor.start()
+        util_monitors[tier_name] = monitor
+
+    queue_sampler = PeriodicSampler(
+        sim,
+        scenario.queue_sample_interval,
+        {
+            tier.name: (lambda t=tier: t.queue_length)
+            for tier in deployment.app.tiers
+        },
+    )
+    queue_sampler.start()
+
+    attack = None
+    llc_profiler = None
+    if scenario.attack is not None:
+        spec = scenario.attack
+        program = make_attack_program(
+            spec, scenario.host_spec.mem_bandwidth_mbps
+        )
+        attack = MemCAAttack(
+            sim,
+            deployment,
+            program=program,
+            length=spec.length,
+            interval=spec.interval,
+            intensity=spec.intensity,
+            adversaries=spec.adversaries,
+            target_tier=spec.target_tier,
+            jitter=spec.jitter,
+            rng=streams.get("attack"),
+            monitor_interval=scenario.monitor_interval,
+        )
+        attack.launch()
+        if feedback_goals is not None:
+            attack.enable_feedback(
+                workload.make_request,
+                goals=feedback_goals,
+                rng=streams.get("prober"),
+            )
+    if collect_llc:
+        mysql_vm = deployment.vm("mysql")
+        assert mysql_vm.llc is not None
+        llc_profiler = LLCMissProfiler(
+            sim,
+            mysql_vm.llc,
+            interval=scenario.monitor_interval,
+            rng=streams.get("oprofile"),
+        )
+        llc_profiler.start()
+
+    sim.run(until=scenario.duration)
+    return RubbosRun(
+        scenario=scenario,
+        sim=sim,
+        deployment=deployment,
+        workload=workload,
+        population=population,
+        attack=attack,
+        util_monitors=util_monitors,
+        queue_sampler=queue_sampler,
+        llc_profiler=llc_profiler,
+    )
+
+
+#: The three service disciplines compared in Figs 6/7.
+MODEL_MODES = ("tandem", "attack-infinite-front", "attack-finite")
+
+
+@dataclass
+class ModelRun:
+    """One open-loop queueing-network run."""
+
+    scenario: ModelScenario
+    mode: str
+    sim: Simulator
+    deployment: CloudDeployment
+    generator: OpenLoopGenerator
+    attacker: OnOffAttacker
+    queue_sampler: PeriodicSampler
+    mysql_monitor: UtilizationMonitor
+
+    @property
+    def app(self):
+        return self.deployment.app
+
+    def client_requests(self) -> List[Request]:
+        return [
+            r
+            for r in self.app.completed
+            if r.t_done is not None and r.t_done >= self.scenario.warmup
+        ]
+
+
+def _model_deployment_config(
+    scenario: ModelScenario, mode: str
+) -> DeploymentConfig:
+    huge = 10**6
+    tiers = []
+    for index, (name, q) in enumerate(
+        zip(scenario.tier_names, scenario.queue_sizes)
+    ):
+        if mode == "tandem":
+            # Independent M/M/1 stations: one server, unbounded FIFO.
+            concurrency, backlog = 1, None
+        elif mode == "attack-infinite-front" and index == 0:
+            concurrency, backlog = huge, None
+        elif mode == "attack-finite" and index == 0:
+            concurrency, backlog = q, scenario.apache_backlog
+        else:
+            concurrency, backlog = q, None
+        tiers.append(
+            TierConfig(
+                name=name,
+                vcpus=1,
+                concurrency=concurrency,
+                max_backlog=backlog,
+                mem_demand_mbps=2000.0,
+            )
+        )
+    return DeploymentConfig(tiers=tuple(tiers))
+
+
+def run_model(
+    scenario: ModelScenario,
+    mode: str,
+    queue_sample_interval: float = 0.005,
+) -> ModelRun:
+    """Run one of the Fig 6/7 model cases under the fixed burst."""
+    if mode not in MODEL_MODES:
+        raise ValueError(f"mode must be one of {MODEL_MODES}, got {mode!r}")
+    streams = RandomStreams(scenario.seed)
+    sim = Simulator()
+    deployment = CloudDeployment(
+        sim, _model_deployment_config(scenario, mode)
+    )
+    demand_means = {
+        name: 1.0 / rate
+        for name, rate in zip(scenario.tier_names, scenario.service_rates)
+    }
+    factory = exponential_request_factory(
+        demand_means, streams.get("demands")
+    )
+    generator = OpenLoopGenerator(
+        sim,
+        deployment.app,
+        factory,
+        rate=scenario.arrival_rate,
+        rng=streams.get("arrivals"),
+        tandem=(mode == "tandem"),
+    )
+    generator.start()
+
+    # Degrade MySQL to exactly C_on = D * C_off during ON bursts.
+    burst = scenario.burst
+    program = MemoryLockAttack(max_lock_duty=1.0 - burst.D)
+    memory = deployment.co_locate_adversary("mysql")
+    attacker = OnOffAttacker(
+        sim,
+        memory,
+        "adversary",
+        program,
+        length=burst.L,
+        interval=burst.I,
+        intensity=1.0,
+    )
+    attacker.start()
+
+    # Tandem stations have concurrency 1, so their queue is the raw
+    # occupancy; RPC tiers report the paper's clipped queue length.
+    if mode == "tandem":
+        probes = {
+            tier.name: (lambda t=tier: t.occupancy)
+            for tier in deployment.app.tiers
+        }
+    else:
+        probes = {
+            tier.name: (lambda t=tier: t.queue_length)
+            for tier in deployment.app.tiers
+        }
+    queue_sampler = PeriodicSampler(sim, queue_sample_interval, probes)
+    queue_sampler.start()
+    mysql_monitor = UtilizationMonitor(
+        sim, deployment.vm("mysql").cpu, interval=0.01
+    )
+    mysql_monitor.start()
+
+    sim.run(until=scenario.duration)
+    return ModelRun(
+        scenario=scenario,
+        mode=mode,
+        sim=sim,
+        deployment=deployment,
+        generator=generator,
+        attacker=attacker,
+        queue_sampler=queue_sampler,
+        mysql_monitor=mysql_monitor,
+    )

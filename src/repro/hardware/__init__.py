@@ -1,0 +1,37 @@
+"""Hardware substrate: hosts, packages, shared memory, LLC, and VMs.
+
+Substitutes for the paper's physical Xeon testbed; see DESIGN.md §1.
+"""
+
+from .hypervisor import (
+    ALL_HYPERVISORS,
+    HYPERV,
+    KVM,
+    VMWARE,
+    XEN,
+    HypervisorProfile,
+    memory_subsystem_for,
+)
+from .llc import LLCMissCounter
+from .memory import MemoryActivity, MemorySubsystem
+from .topology import EC2_E5_2680, XEON_E5_2603_V3, CpuSpec, Host, Package
+from .vm import VirtualMachine
+
+__all__ = [
+    "ALL_HYPERVISORS",
+    "CpuSpec",
+    "EC2_E5_2680",
+    "HYPERV",
+    "Host",
+    "HypervisorProfile",
+    "KVM",
+    "LLCMissCounter",
+    "MemoryActivity",
+    "MemorySubsystem",
+    "Package",
+    "VMWARE",
+    "VirtualMachine",
+    "XEN",
+    "XEON_E5_2603_V3",
+    "memory_subsystem_for",
+]

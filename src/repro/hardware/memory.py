@@ -1,0 +1,279 @@
+"""Shared memory-bandwidth contention model (the cross-resource link).
+
+This module is the reproduction's substitute for the physical memory
+hierarchy of the paper's testbed.  It answers two questions:
+
+1. *Profiling (Fig 3)* — given ``k`` co-located VMs running memory
+   streams (RAMspeed) plus optional attackers, what bandwidth does each
+   VM measure?  See :meth:`MemorySubsystem.measured_bandwidth`.
+2. *Dynamics (the attack)* — while an adversary VM saturates the bus or
+   holds unaligned-atomic bus locks, what fraction of its nominal speed
+   does a co-located victim VM retain?  See
+   :meth:`MemorySubsystem.speed_factor`.  That fraction is exactly the
+   paper's degradation index ``D`` (Eq. 2/3): the victim's service
+   capacity becomes ``C_on = D * C_off`` during a burst.
+
+The contention arithmetic:
+
+* Each package has peak bandwidth ``B``.  With ``n`` concurrent streams
+  the *effective* bus capacity is ``B * efficiency(n)`` where
+  ``efficiency(n) = 1 / (1 + alpha * (n - 1))`` models bank conflicts
+  and scheduler overhead (sub-linear sharing, as Fig 3 shows).
+* Capacity is divided between streams in proportion to their demand, so
+  a stream never receives more than it asks for.
+* A *locking* activity with duty cycle ``f`` stalls the whole bus for a
+  fraction ``f`` of the time (unaligned atomics spanning two cache
+  lines lock the bus, blocking every other access until the locked
+  operation retires).  Other streams on the package retain only a
+  ``(1 - f)`` factor of whatever share they would otherwise get — which
+  is why Fig 3 finds one locking VM more damaging than several
+  bus-saturating VMs.
+* "Floating" VMs (no pinning) spread their demand over all packages —
+  the paper's *random package* scenario, which halves the degradation
+  on a two-package host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .topology import Host
+
+__all__ = ["MemoryActivity", "MemorySubsystem"]
+
+#: Bank-conflict coefficient for the sub-linear sharing curve.
+_DEFAULT_ALPHA = 0.08
+
+#: A lock duty cycle is never allowed to fully starve the bus.
+_MAX_LOCK_DUTY = 0.98
+
+
+@dataclass
+class MemoryActivity:
+    """One VM's current memory behaviour.
+
+    ``demand_mbps`` is the bandwidth the VM would consume with no
+    contention.  ``lock_duty`` in (0, 1] marks a memory-lock attack: the
+    fraction of time the VM holds the bus locked.  ``thrashes_llc``
+    marks activities whose working set sweeps the LLC (bus saturation
+    does; the tiny-footprint lock attack does not) — used by the LLC
+    miss model for Fig 11.  ``llc_footprint_mb`` is the working-set
+    size competing for LLC capacity: a footprint rivalling the package
+    LLC evicts co-located VMs' lines (the *storage-based* contention of
+    the cited LLC-cleansing attack) and slows them via extra misses
+    even when bus bandwidth is ample.
+    """
+
+    vm_name: str
+    demand_mbps: float
+    lock_duty: float = 0.0
+    thrashes_llc: bool = False
+    llc_footprint_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand_mbps < 0:
+            raise ValueError(f"negative demand: {self.demand_mbps}")
+        if not 0.0 <= self.lock_duty <= 1.0:
+            raise ValueError(f"lock_duty outside [0,1]: {self.lock_duty}")
+        if self.llc_footprint_mb < 0:
+            raise ValueError(
+                f"negative llc_footprint_mb: {self.llc_footprint_mb}"
+            )
+
+
+class MemorySubsystem:
+    """Dynamic shared-memory contention state for one host.
+
+    VM components (attack programs, tier servers) register and update
+    :class:`MemoryActivity` records; listeners (victim CPU models, LLC
+    miss counters) are notified whenever the contention state changes so
+    they can re-derive their speed factors / miss rates.
+    """
+
+    #: Maximum slowdown attributable to pure LLC eviction (a fully
+    #: cleansed cache costs extra DRAM round-trips, not a stalled bus).
+    LLC_PENALTY = 0.3
+
+    def __init__(self, host: Host, alpha: float = _DEFAULT_ALPHA):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.host = host
+        self.alpha = alpha
+        self._activities: Dict[str, MemoryActivity] = {}
+        self._listeners: List[Callable[[], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def set_activity(self, activity: MemoryActivity) -> None:
+        """Install or replace the activity record for a VM."""
+        if activity.vm_name not in self.host.placements:
+            raise ValueError(
+                f"VM {activity.vm_name!r} is not placed on host "
+                f"{self.host.name!r}"
+            )
+        self._activities[activity.vm_name] = activity
+        self._notify()
+
+    def clear_activity(self, vm_name: str) -> None:
+        """Remove a VM's activity (e.g. attack burst turned OFF)."""
+        if self._activities.pop(vm_name, None) is not None:
+            self._notify()
+
+    def activity_of(self, vm_name: str) -> Optional[MemoryActivity]:
+        return self._activities.get(vm_name)
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked on every contention change."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[], None]) -> None:
+        """Remove a previously registered callback (e.g. on migration)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()
+
+    # -- contention arithmetic ----------------------------------------------
+
+    def efficiency(self, streams: int) -> float:
+        """Effective-capacity factor with ``streams`` concurrent streams."""
+        if streams <= 1:
+            return 1.0
+        return 1.0 / (1.0 + self.alpha * (streams - 1))
+
+    def _package_weight(self, vm_name: str, package: int) -> float:
+        """Fraction of a VM's memory demand landing on ``package``."""
+        placement = self.host.placements.get(vm_name)
+        if placement is None:
+            return 1.0 / len(self.host.packages)
+        return 1.0 if placement == package else 0.0
+
+    def _package_state(self, package: int):
+        """Demands and lock duties of activities touching a package."""
+        demands: Dict[str, float] = {}
+        lock_duties: Dict[str, float] = {}
+        for name, act in self._activities.items():
+            weight = self._package_weight(name, package)
+            if weight == 0.0:
+                continue
+            if act.demand_mbps > 0:
+                demands[name] = act.demand_mbps * weight
+            if act.lock_duty > 0:
+                # A floating locker still locks the bus it is currently
+                # on; weight scales how often that is this package.
+                lock_duties[name] = act.lock_duty * weight
+        return demands, lock_duties
+
+    def available_bandwidth(self, vm_name: str, package: int) -> float:
+        """Bandwidth (MB/s) the VM attains on ``package`` right now."""
+        demands, lock_duties = self._package_state(package)
+        own_demand = demands.get(vm_name, 0.0)
+        if own_demand <= 0:
+            return 0.0
+        foreign_lock = sum(
+            duty for name, duty in lock_duties.items() if name != vm_name
+        )
+        foreign_lock = min(_MAX_LOCK_DUTY, foreign_lock)
+        capacity = (
+            self.host.packages[package].mem_bandwidth_mbps
+            * self.efficiency(len(demands))
+        )
+        total_demand = sum(demands.values())
+        share = capacity * own_demand / total_demand
+        share = min(share, own_demand)
+        return share * (1.0 - foreign_lock)
+
+    def measured_bandwidth(self, vm_name: str) -> float:
+        """Total bandwidth the VM measures across all its packages.
+
+        This is what a RAMspeed run inside the VM reports — the Fig 3
+        metric.
+        """
+        return sum(
+            self.available_bandwidth(vm_name, pkg.index)
+            for pkg in self.host.packages
+        )
+
+    def llc_pressure(self, vm_name: str, package: int) -> float:
+        """Foreign LLC-footprint pressure on a VM, in [0, 1].
+
+        1.0 means co-located working sets at least fill the package
+        LLC, so the VM's lines are continuously evicted.
+        """
+        llc_capacity = self.host.packages[package].llc_mb
+        if llc_capacity <= 0:
+            return 0.0
+        foreign = 0.0
+        for name, act in self._activities.items():
+            if name == vm_name:
+                continue
+            weight = self._package_weight(name, package)
+            foreign += act.llc_footprint_mb * weight
+        return min(1.0, foreign / llc_capacity)
+
+    def speed_factor(self, vm_name: str) -> float:
+        """Effective CPU speed retained by a VM under current contention.
+
+        This is the degradation index ``D`` of Eq. 2, combining two
+        cross-resource pathways: (i) the ratio of the memory bandwidth
+        the VM can actually use (scaled by foreign bus-lock duty) to
+        the bandwidth its workload needs at full speed, and (ii) the
+        LLC-eviction penalty from co-located cache-filling working
+        sets.  A VM with no registered memory demand is assumed
+        memory-light and unaffected except by bus locks and LLC
+        eviction.
+        """
+        act = self._activities.get(vm_name)
+        factors = []
+        for pkg in self.host.packages:
+            weight = self._package_weight(vm_name, pkg.index)
+            if weight == 0.0:
+                continue
+            demands, lock_duties = self._package_state(pkg.index)
+            foreign_lock = min(
+                _MAX_LOCK_DUTY,
+                sum(d for n, d in lock_duties.items() if n != vm_name),
+            )
+            llc_factor = 1.0 - self.LLC_PENALTY * self.llc_pressure(
+                vm_name, pkg.index
+            )
+            if act is None or act.demand_mbps <= 0:
+                factors.append((1.0 - foreign_lock) * llc_factor)
+                continue
+            attained = self.available_bandwidth(vm_name, pkg.index)
+            needed = act.demand_mbps * weight
+            bandwidth_factor = (
+                min(1.0, attained / needed) if needed else 1.0
+            )
+            factors.append(bandwidth_factor * llc_factor)
+        if not factors:
+            return 1.0
+        # A floating VM averages over packages; a pinned VM has one term.
+        return max(0.0, min(1.0, sum(factors) / len(factors)))
+
+    def llc_thrashers_near(self, vm_name: str) -> int:
+        """Number of *other* LLC-thrashing activities sharing a package.
+
+        Drives the Fig 11 LLC-miss signature: bus-saturation attacks
+        thrash the cache and spike the victim's miss counter; lock
+        attacks do not.
+        """
+        placement = self.host.placements.get(vm_name)
+        count = 0
+        for name, act in self._activities.items():
+            if name == vm_name or not act.thrashes_llc:
+                continue
+            other = self.host.placements.get(name)
+            shares = (
+                placement is None
+                or other is None
+                or placement == other
+            )
+            if shares:
+                count += 1
+        return count

@@ -1,0 +1,130 @@
+"""Virtual machines and their coupling to shared-memory contention.
+
+A :class:`VirtualMachine` owns a processor-sharing CPU (its vCPUs).  The
+hypervisor isolates vCPU *time*, so co-located VMs never steal each
+other's cycles directly; what they share is the memory system.  When a
+VM is attached to a host's :class:`MemorySubsystem`, every contention
+change re-derives the VM's speed factor (the degradation index ``D``)
+and applies it to the CPU — the cross-resource transfer at the heart of
+MemCA: memory pressure on the host shows up as CPU saturation in the
+victim guest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Simulator
+from ..sim.psserver import ProcessorSharingServer
+from .llc import LLCMissCounter
+from .memory import MemoryActivity, MemorySubsystem
+from .topology import Host
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """A guest VM: vCPUs plus a declared memory appetite.
+
+    ``mem_demand_mbps`` is the memory bandwidth the VM's workload needs
+    to run at full speed; it determines how hard contention bites.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        vcpus: int = 2,
+        mem_demand_mbps: float = 2000.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.vcpus = int(vcpus)
+        self.mem_demand_mbps = float(mem_demand_mbps)
+        self.cpu = ProcessorSharingServer(sim, cores=vcpus, name=name)
+        self.host: Optional[Host] = None
+        self.memory: Optional[MemorySubsystem] = None
+        self.llc: Optional[LLCMissCounter] = None
+        #: History of (time, speed_factor) transitions, for analysis.
+        self.speed_history = [(sim.now, 1.0)]
+
+    def attach(
+        self,
+        host: Host,
+        memory: MemorySubsystem,
+        package: Optional[int] = None,
+        track_llc: bool = True,
+    ) -> None:
+        """Place this VM on a host and wire up contention coupling."""
+        if self.host is not None:
+            raise ValueError(f"VM {self.name!r} is already placed")
+        if self.name not in host.placements:
+            # A zone scheduler may have reserved the slot already.
+            host.place(self.name, package=package)
+        self.host = host
+        self.memory = memory
+        if track_llc:
+            self.llc = LLCMissCounter(self.sim, memory, self.name)
+        # Declare the workload's steady memory appetite so that
+        # speed_factor() has a denominator to bite on.
+        memory.set_activity(
+            MemoryActivity(vm_name=self.name, demand_mbps=self.mem_demand_mbps)
+        )
+        memory.subscribe(self._on_contention_change)
+        self._on_contention_change()
+
+    def migrate(
+        self,
+        host: Host,
+        memory: MemorySubsystem,
+        package: Optional[int] = None,
+        downtime: float = 0.3,
+    ) -> None:
+        """Live-migrate this VM to another host.
+
+        Models a stop-and-copy migration: the vCPUs stall for
+        ``downtime`` seconds (in-flight requests queue up, so expect a
+        brief post-migration latency spike), after which the VM runs on
+        the new host's memory subsystem — free of whatever adversaries
+        shared the old one.  This is the defensive response MemCA's
+        conclusion calls for future work on.
+        """
+        if self.host is None or self.memory is None:
+            raise ValueError(f"VM {self.name!r} is not placed")
+        if downtime < 0:
+            raise ValueError(f"negative downtime: {downtime}")
+        old_host, old_memory = self.host, self.memory
+        old_memory.clear_activity(self.name)
+        old_memory.unsubscribe(self._on_contention_change)
+        old_host.remove(self.name)
+        self.host = None
+        self.memory = None
+        self.llc = None
+        # Stop-and-copy: the guest is frozen while state transfers.
+        self.cpu.set_speed(0.0)
+        self.speed_history.append((self.sim.now, 0.0))
+
+        def complete() -> None:
+            self.attach(host, memory, package=package)
+
+        if downtime > 0:
+            self.sim.call_in(downtime, complete)
+        else:
+            complete()
+
+    def _on_contention_change(self) -> None:
+        if self.memory is None:
+            return  # mid-migration: a stale notification from the old host
+        factor = self.memory.speed_factor(self.name)
+        if factor != self.cpu.speed:
+            self.cpu.set_speed(factor)
+            self.speed_history.append((self.sim.now, factor))
+
+    @property
+    def speed_factor(self) -> float:
+        """Current effective CPU speed (1.0 = no contention)."""
+        return self.cpu.speed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = self.host.name if self.host else "unplaced"
+        return f"VirtualMachine({self.name!r}, vcpus={self.vcpus}, {placed})"

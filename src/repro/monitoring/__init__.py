@@ -1,0 +1,13 @@
+"""Monitoring substrate: time series, periodic samplers, LLC profiling."""
+
+from .metrics import TimeSeries
+from .oprofile import LLCMissProfiler
+from .sampler import GRANULARITIES, PeriodicSampler, UtilizationMonitor
+
+__all__ = [
+    "GRANULARITIES",
+    "LLCMissProfiler",
+    "PeriodicSampler",
+    "TimeSeries",
+    "UtilizationMonitor",
+]

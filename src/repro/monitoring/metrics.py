@@ -1,0 +1,127 @@
+"""Time-series containers for monitoring data.
+
+A :class:`TimeSeries` is an append-only sequence of (time, value)
+samples with the resampling operations the paper's stealthiness
+analysis needs: the same underlying signal viewed at 50 ms, 1 s, and
+1 min granularity (Fig 10) is just ``resample`` with different bin
+widths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Append-only (time, value) samples with numpy-backed analysis."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"non-monotonic time {time} after {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def between(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with t0 <= time < t1, as a new series."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if t0 <= t < t1:
+                out.append(t, v)
+        return out
+
+    def resample(
+        self, interval: float, agg: str = "mean", t0: Optional[float] = None
+    ) -> "TimeSeries":
+        """Aggregate into bins of width ``interval``.
+
+        ``agg`` is one of mean/max/min/sum.  Empty bins are skipped.
+        This is how a coarse monitor (CloudWatch at 1 min) views a
+        fine-grained signal: a 500 ms saturation burst simply averages
+        away (the paper's stealthiness argument).
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if not self._times:
+            return TimeSeries(self.name)
+        reducers = {
+            "mean": np.mean,
+            "max": np.max,
+            "min": np.min,
+            "sum": np.sum,
+        }
+        if agg not in reducers:
+            raise ValueError(f"unknown aggregation {agg!r}")
+        reduce = reducers[agg]
+        start = self._times[0] if t0 is None else t0
+        out = TimeSeries(self.name)
+        times = self.times
+        values = self.values
+        bins = np.floor((times - start) / interval).astype(int)
+        for b in np.unique(bins):
+            mask = bins == b
+            out.append(start + (b + 1) * interval, float(reduce(values[mask])))
+        return out
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.max(self.values))
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.mean(self.values))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self.values > threshold))
+
+    def intervals_above(self, threshold: float) -> List[Tuple[float, float]]:
+        """Contiguous (start, end) sample spans above ``threshold``.
+
+        Used to extract millibottleneck episodes from fine-grained
+        utilization traces.
+        """
+        spans: List[Tuple[float, float]] = []
+        run_start: Optional[float] = None
+        prev_time: Optional[float] = None
+        for t, v in zip(self._times, self._values):
+            if v > threshold:
+                if run_start is None:
+                    run_start = prev_time if prev_time is not None else t
+            else:
+                if run_start is not None:
+                    spans.append((run_start, t))
+                    run_start = None
+            prev_time = t
+        if run_start is not None:
+            spans.append((run_start, self._times[-1]))
+        return spans

@@ -1,0 +1,95 @@
+"""The assembled n-tier application and its two service disciplines.
+
+:class:`NTierApplication` chains tiers front-to-back and records every
+finished request.  Two service modes reproduce the paper's model
+comparison (Figs 6 and 7):
+
+* ``serve`` — synchronous RPC mode (the real n-tier system): the client
+  coroutine runs down the tier chain holding a thread at every level.
+* ``serve_tandem`` — classic tandem-queue mode: tiers are independent
+  stations visited in sequence with no cross-tier thread coupling; all
+  excess requests pile up at the bottleneck station only.
+
+In tandem mode the per-tier "observed response time" is the time from
+arrival at that station until the request finally completes (the suffix
+time), which is why the paper's Fig 7a percentile curves for all tiers
+nearly overlap when MySQL dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..sim.core import Simulator
+from .request import Request
+from .tier import Tier
+
+__all__ = ["NTierApplication"]
+
+
+class NTierApplication:
+    """A front-to-back chain of tiers plus request bookkeeping."""
+
+    def __init__(self, sim: Simulator, tiers: List[Tier]):
+        if not tiers:
+            raise ValueError("an application needs at least one tier")
+        self.sim = sim
+        self.tiers = list(tiers)
+        for upstream, downstream in zip(self.tiers, self.tiers[1:]):
+            upstream.downstream = downstream
+        #: Requests that received a response (includes retransmitted).
+        self.completed: List[Request] = []
+        #: Requests abandoned after exhausting TCP retries.
+        self.failed: List[Request] = []
+
+    @property
+    def front(self) -> Tier:
+        return self.tiers[0]
+
+    @property
+    def back(self) -> Tier:
+        return self.tiers[-1]
+
+    def tier(self, name: str) -> Tier:
+        """Look up a tier by name."""
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier named {name!r}")
+
+    def record(self, request: Request) -> None:
+        """File a finished request under completed or failed."""
+        if request.failed:
+            self.failed.append(request)
+        else:
+            self.completed.append(request)
+
+    def serve(self, request: Request) -> Generator:
+        """Synchronous RPC service (``yield from`` this in a process)."""
+        yield from self.front.handle(request)
+
+    def serve_tandem(self, request: Request) -> Generator:
+        """Tandem-queue service: independent stations, visited in order."""
+        enters = []
+        for tier in self.tiers:
+            enters.append((tier, self.sim.now))
+            if request.visits(tier.name):
+                yield from tier.serve_local(request)
+        done = self.sim.now
+        for tier, entered in enters:
+            request.record_span(tier.name, entered, done)
+
+    # -- aggregate accounting -------------------------------------------
+
+    @property
+    def total_drops(self) -> int:
+        """Front-tier TCP-level drops over the whole run."""
+        return self.front.drops
+
+    def occupancies(self) -> dict:
+        """Snapshot of every tier's current queue length."""
+        return {tier.name: tier.occupancy for tier in self.tiers}
+
+    def completed_after(self, t: float) -> List[Request]:
+        """Completed requests that finished at or after time ``t``."""
+        return [r for r in self.completed if r.t_done is not None and r.t_done >= t]

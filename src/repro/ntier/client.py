@@ -1,0 +1,218 @@
+"""Clients: the TCP fetch loop, closed-loop users, and open-loop probes.
+
+``fetch`` implements the client-side request path the paper's damage
+analysis depends on: when the front tier's accept queue overflows the
+attempt is dropped and retried after the TCP retransmission timeout
+(minimum 1 s, exponential backoff), so every drop adds at least one
+second to the client-perceived response time.
+
+:class:`ClosedLoopClient` models one RUBBoS user — think, request,
+repeat — and :class:`UserPopulation` spawns N of them with staggered
+starts.  :class:`OpenLoopProber` is the lightweight HTTP prober used by
+MemCA-BE (Section IV-C) to observe the victim's percentile response
+time from outside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..sim.core import Simulator
+from .app import NTierApplication
+from .request import Request
+from .tcp import DEFAULT_TCP, RetransmissionPolicy
+from .tier import TierOverflowError
+
+__all__ = ["fetch", "ClosedLoopClient", "UserPopulation", "OpenLoopProber"]
+
+#: A request factory: (request id) -> Request with sampled demands.
+RequestFactory = Callable[[int], Request]
+
+
+def fetch(
+    sim: Simulator,
+    app: NTierApplication,
+    request: Request,
+    tcp: RetransmissionPolicy = DEFAULT_TCP,
+    tandem: bool = False,
+) -> Generator:
+    """Issue one request with TCP retransmission on front-tier drops.
+
+    A generator meant for ``yield from`` inside a client process.  On
+    return, the request is recorded in the application (completed or
+    failed) and carries its timing data.
+    """
+    request.t_first_attempt = sim.now
+    rtos = tcp.timeouts()
+    while True:
+        request.attempts += 1
+        try:
+            if tandem:
+                yield from app.serve_tandem(request)
+            else:
+                yield from app.serve(request)
+            request.t_done = sim.now
+            app.record(request)
+            return request
+        except TierOverflowError:
+            try:
+                rto = next(rtos)
+            except StopIteration:
+                request.failed = True
+                request.t_done = sim.now
+                app.record(request)
+                return request
+            yield sim.timeout(rto)
+
+
+class ClosedLoopClient:
+    """One closed-loop user: think (exponential), request, repeat."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        request_factory: RequestFactory,
+        think_time: float = 7.0,
+        rng: Optional[np.random.Generator] = None,
+        tcp: RetransmissionPolicy = DEFAULT_TCP,
+        tandem: bool = False,
+    ):
+        if think_time < 0:
+            raise ValueError(f"negative think_time: {think_time}")
+        self.sim = sim
+        self.app = app
+        self.request_factory = request_factory
+        self.think_time = think_time
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.tcp = tcp
+        self.tandem = tandem
+        self.requests_sent = 0
+
+    def run(self, start_delay: float = 0.0) -> Generator:
+        """The user's endless session loop (run as a process)."""
+        if start_delay > 0:
+            yield self.sim.timeout(start_delay)
+        while True:
+            request = self.request_factory(self.requests_sent)
+            self.requests_sent += 1
+            yield from fetch(
+                self.sim, self.app, request, tcp=self.tcp, tandem=self.tandem
+            )
+            think = float(self.rng.exponential(self.think_time))
+            yield self.sim.timeout(think)
+
+
+class UserPopulation:
+    """N closed-loop users with starts staggered over one think time.
+
+    Staggering avoids the artificial synchronized first-arrival burst a
+    simultaneous start would create.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        request_factory: Optional[RequestFactory],
+        users: int,
+        think_time: float = 7.0,
+        rng: Optional[np.random.Generator] = None,
+        tcp: RetransmissionPolicy = DEFAULT_TCP,
+        tandem: bool = False,
+        session_factory: Optional[Callable[[], RequestFactory]] = None,
+    ):
+        """Either a shared ``request_factory`` (i.i.d. page sampling)
+        or a ``session_factory`` producing one stateful factory per
+        user (per-user Markov navigation) must be provided."""
+        if users < 1:
+            raise ValueError(f"users must be >= 1, got {users}")
+        if request_factory is None and session_factory is None:
+            raise ValueError(
+                "provide request_factory or session_factory"
+            )
+        self.sim = sim
+        self.users = users
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.clients = [
+            ClosedLoopClient(
+                sim,
+                app,
+                session_factory() if session_factory else request_factory,
+                think_time=think_time,
+                rng=self.rng,
+                tcp=tcp,
+                tandem=tandem,
+            )
+            for _ in range(users)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        """Spawn every user process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        think = self.clients[0].think_time or 1.0
+        for client in self.clients:
+            delay = float(self.rng.uniform(0.0, think))
+            self.sim.process(client.run(start_delay=delay))
+
+    @property
+    def total_requests_sent(self) -> int:
+        return sum(c.requests_sent for c in self.clients)
+
+
+class OpenLoopProber:
+    """MemCA-BE's prober: low-rate Poisson probes with own bookkeeping.
+
+    Probes traverse the full tier chain like ordinary requests but are
+    recorded separately so the attacker's controller can compute
+    percentile response time without access to victim-side telemetry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: NTierApplication,
+        request_factory: RequestFactory,
+        rate: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+        tcp: RetransmissionPolicy = DEFAULT_TCP,
+    ):
+        if rate <= 0:
+            raise ValueError(f"probe rate must be positive: {rate}")
+        self.sim = sim
+        self.app = app
+        self.request_factory = request_factory
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.tcp = tcp
+        #: (send time, response time or None-if-failed) per probe.
+        self.samples: List[tuple] = []
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.sim.process(self._run())
+
+    def _run(self) -> Generator:
+        probe_id = 0
+        while True:
+            gap = float(self.rng.exponential(1.0 / self.rate))
+            yield self.sim.timeout(gap)
+            request = self.request_factory(probe_id)
+            probe_id += 1
+            self.sim.process(self._probe_once(request))
+
+    def _probe_once(self, request: Request) -> Generator:
+        sent = self.sim.now
+        yield from fetch(self.sim, self.app, request, tcp=self.tcp)
+        rt = None if request.failed else request.response_time
+        self.samples.append((sent, rt))
+
+    def samples_since(self, t: float) -> List[float]:
+        """Successful probe response times sent at or after ``t``."""
+        return [rt for sent, rt in self.samples if sent >= t and rt is not None]

@@ -1,0 +1,187 @@
+"""A single tier of the n-tier system.
+
+Each tier couples three things:
+
+* a finite *concurrency pool* (server threads / DB connections) — the
+  paper's per-tier queue size ``Q_i``;
+* the tier VM's processor-sharing CPU, where service demand is burned;
+* a reference to its downstream tier, invoked **synchronously**: the
+  thread is held while the downstream call is outstanding.  This
+  RPC-style coupling is the amplification mechanism — one queued
+  request in MySQL pins a thread in Tomcat *and* Apache, so a
+  millibottleneck at the back end drains the concurrency of every
+  upstream tier (Section IV-B).
+
+The front-most tier is created with a bounded backlog
+(``max_backlog``): when it overflows, the request is dropped at TCP
+level and :class:`TierOverflowError` propagates to the client, which
+retransmits after the RTO.  Inner tiers wait (their waiters are bounded
+naturally by the upstream tier's own pool).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..hardware.vm import VirtualMachine
+from ..sim.core import Simulator
+from ..sim.resources import CapacityError, Resource
+from .request import Request
+
+__all__ = ["Tier", "TierOverflowError"]
+
+
+class TierOverflowError(Exception):
+    """A tier's admission queue was full; the request was dropped."""
+
+    def __init__(self, tier: str):
+        super().__init__(f"queue overflow at tier {tier!r}")
+        self.tier = tier
+
+
+class Tier:
+    """One tier: thread pool + CPU + synchronous downstream link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        vm: VirtualMachine,
+        concurrency: int,
+        max_backlog: Optional[int] = None,
+        net_delay: float = 0.0002,
+        work_split: float = 0.85,
+    ):
+        if not 0.0 < work_split <= 1.0:
+            raise ValueError(f"work_split outside (0,1]: {work_split}")
+        self.sim = sim
+        self.name = name
+        self.vm = vm
+        self.pool = Resource(sim, capacity=concurrency, max_queue=max_backlog)
+        self.downstream: Optional["Tier"] = None
+        self.net_delay = net_delay
+        self.work_split = work_split
+        self.arrivals = 0
+        self.completions = 0
+        self.drops = 0
+
+    @property
+    def concurrency(self) -> int:
+        """The paper's ``Q_i``: maximum simultaneous requests in-tier."""
+        return self.pool.capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Requests holding or waiting for this tier's pool.
+
+        Note that with synchronous RPC a request deep in a downstream
+        tier still holds this tier's thread, so occupancies are nested:
+        ``occupancy_front >= occupancy_back`` always.
+        """
+        return self.pool.occupancy
+
+    @property
+    def admission_capacity(self) -> Optional[int]:
+        """Total slots before a drop (None = blocking, never drops)."""
+        if self.pool.max_queue is None:
+            return None
+        return self.pool.capacity + self.pool.max_queue
+
+    @property
+    def queue_length(self) -> int:
+        """The paper's per-tier queue length (Figs 6b/9c).
+
+        The number of this tier's concurrency slots in use, capped at
+        the tier's admission capacity: waiters beyond the cap are
+        attributed to the upstream tier they are pinned in.  Because
+        occupancies are nested and each tier clips at its own Q_i, the
+        tiers visibly saturate in back-to-front sequence during a
+        burst — exactly the paper's cross-tier overflow picture.
+        """
+        cap = self.admission_capacity
+        if cap is None:
+            cap = self.pool.capacity
+        return min(self.occupancy, cap)
+
+    def _execute(self, work: float) -> Generator:
+        """Run ``work`` on this tier's CPU, cancelling it if aborted.
+
+        Without the cancel, a request killed mid-service (e.g. by an
+        interrupt injected into its process) would leave a ghost job
+        consuming CPU capacity forever.
+        """
+        job = self.vm.cpu.execute(work)
+        try:
+            yield job
+        except BaseException:
+            if not job.triggered:
+                self.vm.cpu.cancel(job)
+            raise
+
+    def handle(self, request: Request) -> Generator:
+        """Process ``request`` in this tier (and, recursively, below).
+
+        A generator intended for ``yield from`` inside the client's
+        process, so the whole request path is one coroutine — exactly
+        the synchronous RPC chain of the real system.
+        """
+        enter = self.sim.now
+        self.arrivals += 1
+        try:
+            token = self.pool.request()
+        except CapacityError:
+            self.drops += 1
+            raise TierOverflowError(self.name) from None
+        try:
+            yield token
+            demand = request.demand(self.name)
+            goes_down = (
+                self.downstream is not None
+                and request.visits(self.downstream.name)
+            )
+            pre = demand * self.work_split if goes_down else demand
+            post = demand - pre
+            if pre > 0:
+                yield from self._execute(pre)
+            if goes_down:
+                if self.net_delay > 0:
+                    yield self.sim.timeout(self.net_delay)
+                yield from self.downstream.handle(request)
+                if self.net_delay > 0:
+                    yield self.sim.timeout(self.net_delay)
+            if post > 0:
+                yield from self._execute(post)
+        finally:
+            if token in self.pool.users:
+                self.pool.release(token)
+            else:
+                # Aborted while still waiting for a thread.
+                self.pool.cancel(token)
+        self.completions += 1
+        request.record_span(self.name, enter, self.sim.now)
+
+    def serve_local(self, request: Request) -> Generator:
+        """Serve only this tier's demand (tandem-queue mode).
+
+        Used by :meth:`NTierApplication.serve_tandem`, where tiers are
+        independent stations with no cross-tier thread coupling.
+        """
+        self.arrivals += 1
+        token = self.pool.request()
+        try:
+            yield token
+            demand = request.demand(self.name)
+            if demand > 0:
+                yield from self._execute(demand)
+        finally:
+            if token in self.pool.users:
+                self.pool.release(token)
+            else:
+                self.pool.cancel(token)
+        self.completions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tier({self.name!r}, Q={self.concurrency}, "
+            f"occupancy={self.occupancy})"
+        )

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel (events, processes, resources).
+
+This subpackage is the substrate everything else runs on.  It plays the
+role that the physical testbed and the JMT simulator play in the paper.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .psserver import ProcessorSharingServer
+from .resources import CapacityError, Container, Request, Resource, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CapacityError",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessorSharingServer",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,463 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop that every other subsystem of the
+reproduction is built on: a :class:`Simulator` with a time-ordered event
+heap, one-shot :class:`Event` objects, :class:`Timeout` events, and
+generator-based :class:`Process` coroutines in the style of SimPy (but
+self-contained, so the reproduction has no runtime dependency beyond
+numpy).
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+
+All simulated time is in seconds (floats).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Simulator",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Sentinel for "this event has not been triggered yet".
+_PENDING = object()
+
+#: Scheduling priority for events triggered "right now" (e.g. succeed()).
+URGENT = 0
+#: Scheduling priority for ordinary timed events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` at a target event."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which its callbacks run at the
+    current simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        #: Set to ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True on success, False on failure, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, self.sim.now, URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into them.  If nobody
+        ever waits on a failed event the simulator re-raises it, unless
+        :meth:`defused` was called.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, self.sim.now, URGENT)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the simulator does not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, sim.now + delay, NORMAL)
+
+
+class _Initialize(Event):
+    """Internal event used to start a process on the next step."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, sim.now, URGENT)
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the simulator.
+
+    The generator yields :class:`Event` instances; the process resumes
+    when the yielded event triggers.  A process is itself an event that
+    triggers with the generator's return value, so processes can wait on
+    each other (this is how synchronous RPC between tiers is modelled).
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered immediately (at the current simulation
+        time).  Interrupting a dead process is an error.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        # Detach from whatever the process is waiting on so the stale
+        # resume callback never fires.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        failure = Event(self.sim)
+        failure.callbacks.append(self._resume)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure._defused = True
+        self.sim._schedule(failure, self.sim.now, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        sim = self.sim
+        sim._active_process = self
+        while True:
+            try:
+                if event is None or event._ok:
+                    value = None if event is None else event._value
+                    target = self._generator.send(value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                sim._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                sim._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                sim._active_process = None
+                exc = SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                # Deliver the error to the generator so it can clean up.
+                self._generator.throw(exc)
+                raise exc
+
+            if target.processed:
+                # Already triggered and handled: resume synchronously.
+                event = target
+                continue
+            if target.triggered:
+                # Triggered but callbacks not yet run: join them.
+                target.callbacks.append(self._resume)
+                self._target = target
+                sim._active_process = None
+                return
+            target.callbacks.append(self._resume)
+            self._target = target
+            sim._active_process = None
+            return
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any of the given events triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once all of the given events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The discrete-event simulation core: clock plus event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering when any input event triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all input events trigger."""
+        return AllOf(self, events)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"call_at({time}) is in the past (now={self._now})"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: fn())
+        self._schedule(ev, time, NORMAL)
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` seconds."""
+        return self.call_at(self._now + delay, fn)
+
+    # -- scheduling / main loop ----------------------------------------
+
+    def _schedule(self, event: Event, time: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it instead of silently
+            # dropping the exception.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the schedule drains), a
+        number (run until that simulation time), or an :class:`Event`
+        (run until it triggers, returning its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            if until.triggered:
+                # Still drain same-time callbacks for determinism.
+                return until.value if until._ok else None
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event)
+
+            until.callbacks.append(_stop)
+            try:
+                while self._heap:
+                    self.step()
+            except StopSimulation:
+                if not until._ok:
+                    until._defused = True
+                    raise until._value
+                return until._value
+            raise SimulationError(
+                "schedule drained before the target event triggered"
+            )
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,180 @@
+"""Processor-sharing CPU model.
+
+Each tier VM's CPU is modelled as a processor-sharing (PS) server with
+``cores`` vCPUs and a time-varying ``speed`` factor.  Jobs submit an
+amount of *work* (CPU-seconds at nominal speed); when ``n`` jobs are
+active the total processing rate is ``speed * min(n, cores)`` and is
+shared equally, exactly like a multi-core round-robin scheduler at a
+fine quantum.
+
+The ``speed`` factor is the hook for the paper's cross-resource
+contention: a memory-bandwidth attack on the host does not steal vCPU
+cycles (the hypervisor isolates those) but *stalls* them, which we model
+as a reduced effective speed.  Crucially, stalled cycles still count as
+*busy* to any guest-level utilization monitor — that is why the victim's
+CPU "saturates" during a burst even though memory is the contended
+resource.  The busy-time integrator therefore charges ``min(n, cores)``
+core-seconds per second regardless of ``speed``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["ProcessorSharingServer"]
+
+#: Remaining work below this is considered complete (guards float drift).
+_EPSILON = 1e-9
+
+
+class ProcessorSharingServer:
+    """A multi-core processor-sharing server with variable speed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: int = 1,
+        speed: float = 1.0,
+        name: str = "cpu",
+    ):
+        if cores < 1:
+            raise SimulationError(f"cores must be >= 1, got {cores}")
+        if speed < 0:
+            raise SimulationError(f"speed must be >= 0, got {speed}")
+        self.sim = sim
+        self.cores = int(cores)
+        self.name = name
+        self._speed = float(speed)
+        self._jobs: Dict[Event, float] = {}
+        self._last_update = sim.now
+        self._generation = 0
+        # Integrators (advance() brings these up to date).
+        self._busy_core_seconds = 0.0
+        self._work_done = 0.0
+        self.jobs_completed = 0
+        self.jobs_submitted = 0
+
+    # -- public state ----------------------------------------------------
+
+    @property
+    def speed(self) -> float:
+        """Current effective speed factor (1.0 = nominal)."""
+        return self._speed
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently in service."""
+        return len(self._jobs)
+
+    @property
+    def busy_core_seconds(self) -> float:
+        """Accumulated busy core-seconds (stall time counts as busy)."""
+        self._advance()
+        return self._busy_core_seconds
+
+    @property
+    def work_done(self) -> float:
+        """Accumulated nominal CPU-seconds of completed work."""
+        self._advance()
+        return self._work_done
+
+    def utilization_between(self, busy_before: float, elapsed: float) -> float:
+        """Utilization over an interval given a prior busy snapshot.
+
+        ``busy_before`` is an earlier value of :attr:`busy_core_seconds`;
+        ``elapsed`` the wall-clock (simulated) interval length.
+        """
+        if elapsed <= 0:
+            return 0.0
+        delta = self.busy_core_seconds - busy_before
+        return min(1.0, delta / (elapsed * self.cores))
+
+    # -- operations -------------------------------------------------------
+
+    def execute(self, work: float) -> Event:
+        """Submit ``work`` nominal CPU-seconds; event triggers when done."""
+        if work < 0:
+            raise SimulationError(f"work must be >= 0, got {work}")
+        self.jobs_submitted += 1
+        done = Event(self.sim)
+        if work == 0:
+            self.jobs_completed += 1
+            done.succeed()
+            return done
+        self._advance()
+        self._jobs[done] = float(work)
+        self._reschedule()
+        return done
+
+    def set_speed(self, speed: float) -> None:
+        """Change the effective speed factor (e.g. under attack)."""
+        if speed < 0:
+            raise SimulationError(f"speed must be >= 0, got {speed}")
+        self._advance()
+        self._speed = float(speed)
+        self._reschedule()
+
+    def cancel(self, job: Event) -> None:
+        """Abort an in-service job without triggering its event."""
+        self._advance()
+        if self._jobs.pop(job, None) is not None:
+            self._reschedule()
+
+    # -- internals --------------------------------------------------------
+
+    def _per_job_rate(self, n: int) -> float:
+        if n == 0:
+            return 0.0
+        return self._speed * min(n, self.cores) / n
+
+    def _advance(self) -> None:
+        """Bring job progress and integrators up to ``sim.now``."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        n = len(self._jobs)
+        if n:
+            active_cores = min(n, self.cores)
+            # Stalled-but-runnable vCPUs look busy to guest monitors.
+            self._busy_core_seconds += dt * active_cores
+            progress = self._per_job_rate(n) * dt
+            if progress > 0:
+                self._work_done += progress * n
+                for job in self._jobs:
+                    self._jobs[job] -= progress
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Schedule the next completion after any state change."""
+        self._generation += 1
+        generation = self._generation
+        self._complete_finished()
+        if not self._jobs:
+            return
+        rate = self._per_job_rate(len(self._jobs))
+        if rate <= 0:
+            return  # Fully stalled: no completion until speed changes.
+        shortest = min(self._jobs.values())
+        delay = max(0.0, shortest / rate)
+
+        def fire() -> None:
+            if generation != self._generation:
+                return  # State changed since scheduling; superseded.
+            self._advance()
+            self._reschedule()
+
+        self.sim.call_in(delay, fire)
+
+    def _complete_finished(self) -> None:
+        finished = [
+            job for job, remaining in self._jobs.items()
+            if remaining <= _EPSILON
+        ]
+        for job in finished:
+            del self._jobs[job]
+            self.jobs_completed += 1
+            job.succeed()

@@ -1,0 +1,256 @@
+"""Shared-resource primitives for the DES kernel.
+
+Provides the concurrency-control building blocks the n-tier model needs:
+
+* :class:`Resource` — a counted resource (thread pool / connection pool)
+  with an optionally *bounded* wait queue.  Bounded queues are the heart
+  of the paper's model: the per-tier queue size ``Q_i`` is the tier's
+  thread pool plus its admission backlog, and a full queue means the
+  request is rejected (at the front-most tier: a TCP-level drop).
+* :class:`Store` — a FIFO buffer of Python objects with put/get events.
+* :class:`Container` — a continuous-level resource (tokens).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Request", "Store", "Container", "CapacityError"]
+
+
+class CapacityError(SimulationError):
+    """Raised when a bounded wait queue cannot accept another waiter."""
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        req = pool.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            pool.release(req)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted, FIFO resource with an optionally bounded wait queue.
+
+    ``capacity`` is the number of concurrent holders (threads).
+    ``max_queue`` bounds the number of *waiting* requests; ``None`` means
+    unbounded.  When the wait queue is full, :meth:`request` raises
+    :class:`CapacityError` synchronously — callers model a drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int,
+        max_queue: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        if max_queue is not None and max_queue < 0:
+            raise SimulationError(f"max_queue must be >= 0, got {max_queue}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.max_queue = max_queue
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+        # High-water marks, useful for assertions and monitoring.
+        self.peak_in_use = 0
+        self.peak_queued = 0
+        self.total_requests = 0
+        self.total_rejections = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted requests."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self.queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Holders plus waiters — the paper's per-tier queue length."""
+        return len(self.users) + len(self.queue)
+
+    # -- operations -------------------------------------------------------
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event triggers when granted.
+
+        Raises :class:`CapacityError` if the wait queue is full.
+        """
+        self.total_requests += 1
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            self.peak_in_use = max(self.peak_in_use, len(self.users))
+            req.succeed()
+            return req
+        if self.max_queue is not None and len(self.queue) >= self.max_queue:
+            self.total_rejections += 1
+            raise CapacityError(
+                f"wait queue full ({self.max_queue} waiters)"
+            )
+        self.queue.append(req)
+        self.peak_queued = max(self.peak_queued, len(self.queue))
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                "release() of a request that does not hold the resource"
+            ) from None
+        while self.queue:
+            nxt = self.queue.popleft()
+            if nxt.triggered:
+                # Cancelled while waiting (e.g. timed-out); skip it.
+                continue
+            self.users.append(nxt)
+            self.peak_in_use = max(self.peak_in_use, len(self.users))
+            nxt.succeed()
+            break
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a waiting request (e.g. after a wait timeout).
+
+        Granted requests must be released, not cancelled.
+        """
+        if request in self.users:
+            raise SimulationError("cancel() of a granted request")
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event triggers once it is stored."""
+        ev = Event(self.sim)
+        if self.capacity is None or len(self.items) < self.capacity:
+            self._deliver(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Remove one item; the event triggers with the item."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _deliver(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self.items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._deliver(item)
+            ev.succeed()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous-level resource (e.g. tokens, bytes of bandwidth)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if init < 0 or init > capacity:
+            raise SimulationError(
+                f"init level {init} outside [0, {capacity}]"
+            )
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers once there is room."""
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive: {amount}")
+        ev = Event(self.sim)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount``; triggers once the level suffices."""
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive: {amount}")
+        ev = Event(self.sim)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self.level += amount
+                    self._putters.popleft()
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if amount <= self.level:
+                    self.level -= amount
+                    self._getters.popleft()
+                    ev.succeed(amount)
+                    progressed = True

@@ -1,0 +1,42 @@
+"""Workload generation: RUBBoS-like sessions and open-loop streams."""
+
+from .distributions import (
+    BoundedPareto,
+    DemandDistribution,
+    Deterministic,
+    Exponential,
+    LogNormal,
+)
+from .generator import OpenLoopGenerator, exponential_request_factory
+from .trace import (
+    TraceEntry,
+    TraceReplayGenerator,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+from .rubbos import (
+    RUBBOS_PAGES,
+    RUBBOS_TRANSITIONS,
+    PageClass,
+    RubbosWorkload,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "DemandDistribution",
+    "Deterministic",
+    "Exponential",
+    "LogNormal",
+    "OpenLoopGenerator",
+    "PageClass",
+    "RUBBOS_PAGES",
+    "RUBBOS_TRANSITIONS",
+    "RubbosWorkload",
+    "TraceEntry",
+    "TraceReplayGenerator",
+    "exponential_request_factory",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

@@ -1,0 +1,110 @@
+"""Service-demand distributions (sensitivity beyond the exponential).
+
+The paper's model assumes exponential service (Section IV-B); real tier
+demands are often heavier-tailed.  These distributions plug into
+:class:`~repro.workload.RubbosWorkload` so the sensitivity ablation can
+ask: does tail amplification survive lognormal or Pareto demands?
+(It does — the mechanism is queue overflow, not the service law.)
+
+All distributions are parameterized by their *mean*, so swapping one
+for another preserves offered load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DemandDistribution",
+    "Exponential",
+    "Deterministic",
+    "LogNormal",
+    "BoundedPareto",
+]
+
+
+class DemandDistribution:
+    """Base: draw one positive demand with the given mean."""
+
+    name = "abstract"
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_mean(mean: float) -> float:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean}")
+        return float(mean)
+
+
+@dataclass(frozen=True)
+class Exponential(DemandDistribution):
+    """The paper's assumption: memoryless service."""
+
+    name: str = "exponential"
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        return float(rng.exponential(self._check_mean(mean)))
+
+
+@dataclass(frozen=True)
+class Deterministic(DemandDistribution):
+    """Constant demand (zero service variability)."""
+
+    name: str = "deterministic"
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        return self._check_mean(mean)
+
+
+@dataclass(frozen=True)
+class LogNormal(DemandDistribution):
+    """Lognormal demand with shape ``sigma`` (log-scale std dev).
+
+    mean = exp(mu + sigma^2/2), so mu = ln(mean) - sigma^2/2.
+    """
+
+    sigma: float = 1.0
+    name: str = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive: {self.sigma}")
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        mean = self._check_mean(mean)
+        mu = math.log(mean) - self.sigma**2 / 2.0
+        return float(rng.lognormal(mu, self.sigma))
+
+
+@dataclass(frozen=True)
+class BoundedPareto(DemandDistribution):
+    """Pareto demand with tail index ``alpha`` > 1, capped at ``cap_factor * mean``.
+
+    The cap keeps single requests from exceeding a burst-scale demand
+    (real requests time out); with mean m and minimum x_m,
+    ``m = x_m * alpha / (alpha - 1)`` for the unbounded law, which the
+    cap perturbs only slightly for alpha >= 1.5.
+    """
+
+    alpha: float = 1.8
+    cap_factor: float = 50.0
+    name: str = "pareto"
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1.0:
+            raise ValueError(
+                f"alpha must exceed 1 for a finite mean: {self.alpha}"
+            )
+        if self.cap_factor <= 1.0:
+            raise ValueError(f"cap_factor must exceed 1: {self.cap_factor}")
+
+    def sample(self, rng: np.random.Generator, mean: float) -> float:
+        mean = self._check_mean(mean)
+        minimum = mean * (self.alpha - 1.0) / self.alpha
+        draw = minimum * float(rng.pareto(self.alpha) + 1.0)
+        return min(draw, mean * self.cap_factor)

@@ -1,0 +1,210 @@
+"""RUBBoS-like workload: page classes, Markov navigation, demands.
+
+RUBBoS models the Slashdot news site.  We reproduce its browse-only mix
+as a catalogue of page classes with per-tier mean CPU demands and a
+Markov transition matrix over pages; each simulated user navigates the
+chain with exponential think times (mean 7 s, the RUBBoS default used
+in Section V-A).
+
+Demand means are calibrated so that, at the paper's operating point
+(3500 users / ~500 req/s), the MySQL tier on 2 vCPUs runs at moderate
+(~50-60%) average CPU utilization and is the critical resource — the
+paper's stated baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..ntier.request import Request
+from .distributions import DemandDistribution, Deterministic, Exponential
+
+__all__ = [
+    "PageClass",
+    "RUBBOS_PAGES",
+    "RUBBOS_TRANSITIONS",
+    "RubbosWorkload",
+]
+
+
+@dataclass(frozen=True)
+class PageClass:
+    """One page type and its mean CPU demand (seconds) per tier."""
+
+    name: str
+    demand_means: Tuple[Tuple[str, float], ...]
+
+    def mean(self, tier: str) -> float:
+        return dict(self.demand_means).get(tier, 0.0)
+
+
+def _page(name: str, apache: float, tomcat: float, mysql: float) -> PageClass:
+    return PageClass(
+        name=name,
+        demand_means=(
+            ("apache", apache),
+            ("tomcat", tomcat),
+            ("mysql", mysql),
+        ),
+    )
+
+
+#: The browse-only RUBBoS page mix (demands in seconds of CPU).
+RUBBOS_PAGES: List[PageClass] = [
+    _page("StoriesOfTheDay", 0.0005, 0.0012, 0.0024),
+    _page("ViewStory", 0.0005, 0.0014, 0.0030),
+    _page("ViewComment", 0.0004, 0.0012, 0.0026),
+    _page("BrowseCategories", 0.0004, 0.0008, 0.0012),
+    _page("BrowseStoriesByCategory", 0.0005, 0.0012, 0.0022),
+    _page("Search", 0.0005, 0.0016, 0.0034),
+    _page("AuthorLogin", 0.0004, 0.0010, 0.0016),
+    _page("StaticContent", 0.0004, 0.0, 0.0),
+]
+
+#: Row-stochastic navigation matrix (rows/cols index RUBBOS_PAGES).
+RUBBOS_TRANSITIONS = np.array(
+    [
+        # SotD  View  Comm  BrCat BrSto Search Login Static
+        [0.10, 0.45, 0.05, 0.15, 0.05, 0.10, 0.02, 0.08],  # StoriesOfTheDay
+        [0.20, 0.15, 0.40, 0.05, 0.05, 0.05, 0.02, 0.08],  # ViewStory
+        [0.15, 0.25, 0.35, 0.05, 0.05, 0.05, 0.02, 0.08],  # ViewComment
+        [0.10, 0.05, 0.02, 0.10, 0.55, 0.08, 0.02, 0.08],  # BrowseCategories
+        [0.10, 0.40, 0.10, 0.15, 0.10, 0.05, 0.02, 0.08],  # BrowseStories...
+        [0.15, 0.35, 0.10, 0.10, 0.10, 0.10, 0.02, 0.08],  # Search
+        [0.40, 0.20, 0.05, 0.10, 0.05, 0.10, 0.02, 0.08],  # AuthorLogin
+        [0.35, 0.25, 0.05, 0.10, 0.05, 0.10, 0.02, 0.08],  # StaticContent
+    ]
+)
+
+
+def _check_stochastic(matrix: np.ndarray) -> None:
+    sums = matrix.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-9):
+        raise ValueError(f"transition rows must sum to 1, got {sums}")
+
+
+_check_stochastic(RUBBOS_TRANSITIONS)
+
+
+class RubbosWorkload:
+    """Samples RUBBoS pages and builds requests with random demands.
+
+    ``demand_scale`` multiplies every mean demand — the knob used to
+    place the bottleneck utilization where an experiment wants it.
+    Per-request demands are exponentially distributed around the page's
+    mean (the paper's service-time assumption, Section IV-B).
+    """
+
+    TIERS = ("apache", "tomcat", "mysql")
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        demand_scale: float = 1.0,
+        pages: Optional[List[PageClass]] = None,
+        transitions: Optional[np.ndarray] = None,
+        deterministic_demands: bool = False,
+        distribution: Optional[DemandDistribution] = None,
+    ):
+        if demand_scale <= 0:
+            raise ValueError(f"demand_scale must be positive: {demand_scale}")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.demand_scale = demand_scale
+        self.pages = list(pages) if pages is not None else list(RUBBOS_PAGES)
+        self.transitions = (
+            np.asarray(transitions)
+            if transitions is not None
+            else RUBBOS_TRANSITIONS
+        )
+        if self.transitions.shape != (len(self.pages), len(self.pages)):
+            raise ValueError("transition matrix shape mismatch")
+        _check_stochastic(self.transitions)
+        if distribution is not None:
+            self.distribution = distribution
+        elif deterministic_demands:
+            self.distribution = Deterministic()
+        else:
+            self.distribution = Exponential()
+        self._stationary: Optional[np.ndarray] = None
+
+    # -- page sampling -----------------------------------------------------
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary page-visit probabilities of the Markov chain."""
+        if self._stationary is None:
+            pi = np.full(len(self.pages), 1.0 / len(self.pages))
+            for _ in range(500):
+                nxt = pi @ self.transitions
+                if np.allclose(nxt, pi, atol=1e-12):
+                    pi = nxt
+                    break
+                pi = nxt
+            self._stationary = pi / pi.sum()
+        return self._stationary
+
+    def sample_page(self) -> PageClass:
+        """Draw a page i.i.d. from the stationary distribution."""
+        pi = self.stationary_distribution()
+        idx = int(self.rng.choice(len(self.pages), p=pi))
+        return self.pages[idx]
+
+    def session(self) -> Iterator[PageClass]:
+        """A per-user Markov navigation sequence (infinite iterator)."""
+        pi = self.stationary_distribution()
+        state = int(self.rng.choice(len(self.pages), p=pi))
+        while True:
+            yield self.pages[state]
+            row = self.transitions[state]
+            state = int(self.rng.choice(len(self.pages), p=row))
+
+    # -- demand / request construction --------------------------------------
+
+    def sample_demands(self, page: PageClass) -> Dict[str, float]:
+        """Per-tier CPU demand for one request of ``page``."""
+        demands = {}
+        for tier, mean in page.demand_means:
+            mean_scaled = mean * self.demand_scale
+            if mean_scaled <= 0:
+                continue
+            demands[tier] = self.distribution.sample(self.rng, mean_scaled)
+        return demands
+
+    def make_request(
+        self, rid: int, page: Optional[PageClass] = None
+    ) -> Request:
+        """Build a request for ``page`` (or a stationary sample)."""
+        if page is None:
+            page = self.sample_page()
+        return Request(rid=rid, page=page.name, demands=self.sample_demands(page))
+
+    def session_request_factory(self):
+        """A per-user request factory following the Markov chain.
+
+        Each call returns a *fresh* factory with its own navigation
+        state, so successive requests from one user are correlated
+        according to :data:`RUBBOS_TRANSITIONS` (unlike
+        :meth:`make_request`, which samples pages i.i.d. from the
+        stationary distribution — equivalent in aggregate, different
+        per user).
+        """
+        session = self.session()
+
+        def factory(rid: int) -> Request:
+            return self.make_request(rid, page=next(session))
+
+        return factory
+
+    def mean_demand(self, tier: str) -> float:
+        """Stationary-weighted mean demand at ``tier`` (scaled)."""
+        pi = self.stationary_distribution()
+        return self.demand_scale * float(
+            sum(p * page.mean(tier) for p, page in zip(pi, self.pages))
+        )
+
+    def expected_throughput(self, users: int, think_time: float) -> float:
+        """Rough closed-loop request rate: N / (Z + R), R ~ small."""
+        service = sum(self.mean_demand(t) for t in self.TIERS)
+        return users / (think_time + service)

@@ -1,0 +1,184 @@
+"""Tests for the external-attack baselines and rate-anomaly detection."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudDeployment,
+    DeploymentConfig,
+    RateAnomalyDetector,
+    TierConfig,
+)
+from repro.core import FloodingAttack, PulsatingAttack
+from repro.monitoring import TimeSeries
+from repro.ntier import UserPopulation
+from repro.sim import RandomStreams, Simulator
+from repro.workload import RubbosWorkload
+
+
+def small_system(seed=31):
+    sim = Simulator()
+    deployment = CloudDeployment(
+        sim,
+        DeploymentConfig(
+            tiers=(
+                TierConfig("apache", vcpus=2, concurrency=24,
+                           max_backlog=4),
+                TierConfig("tomcat", vcpus=2, concurrency=12),
+                TierConfig("mysql", vcpus=2, concurrency=4),
+            )
+        ),
+    )
+    streams = RandomStreams(seed)
+    workload = RubbosWorkload(
+        rng=streams.get("workload"), demand_scale=3.0
+    )
+    UserPopulation(
+        sim, deployment.app, workload.make_request,
+        users=100, think_time=1.1, rng=streams.get("users"),
+    ).start()
+    return sim, deployment, workload, streams
+
+
+class TestFloodingAttack:
+    def test_flood_overwhelms_legitimate_clients(self):
+        sim, deployment, workload, streams = small_system()
+        flood = FloodingAttack(
+            sim, deployment.app, workload.make_request,
+            rate=400.0, rng=streams.get("flood"),
+        )
+        flood.start()
+        flood.start()  # idempotent
+        sim.run(until=20.0)
+        assert flood.requests_sent > 5000
+        legit = [
+            r for r in deployment.app.completed
+            if r.t_done and r.t_done > 5.0
+            and not r.page.startswith("attack:")
+        ]
+        rts = [r.response_time for r in legit]
+        assert np.percentile(rts, 95) > 0.5
+        assert deployment.app.front.drops > 100
+
+    def test_stop_halts_traffic(self):
+        sim, deployment, workload, streams = small_system()
+        flood = FloodingAttack(
+            sim, deployment.app, workload.make_request,
+            rate=100.0, rng=streams.get("flood"),
+        )
+        flood.start()
+        sim.call_in(5.0, flood.stop)
+        sim.run(until=20.0)
+        sent_at_stop = flood.requests_sent
+        assert sent_at_stop == pytest.approx(500, rel=0.3)
+
+    def test_attack_requests_tagged(self):
+        sim, deployment, workload, streams = small_system()
+        flood = FloodingAttack(
+            sim, deployment.app, workload.make_request,
+            rate=50.0, rng=streams.get("flood"),
+        )
+        flood.start()
+        sim.run(until=5.0)
+        tagged = [
+            r for r in deployment.app.completed
+            if r.page.startswith("attack:")
+        ]
+        assert tagged
+
+    def test_invalid_rate(self):
+        sim, deployment, workload, streams = small_system()
+        with pytest.raises(ValueError):
+            FloodingAttack(
+                sim, deployment.app, workload.make_request, rate=0.0
+            )
+
+
+class TestPulsatingAttack:
+    def test_bursts_follow_schedule(self):
+        sim, deployment, workload, streams = small_system()
+        pulse = PulsatingAttack(
+            sim, deployment.app, workload.make_request,
+            burst_rate=500.0, length=0.3, interval=2.0,
+            rng=streams.get("pulse"),
+        )
+        pulse.start()
+        sim.run(until=10.0)
+        assert 4 <= len(pulse.bursts) <= 6
+        for start, end in pulse.bursts:
+            assert end - start == pytest.approx(0.3, abs=0.05)
+
+    def test_average_rate_is_modest(self):
+        sim, deployment, workload, streams = small_system()
+        pulse = PulsatingAttack(
+            sim, deployment.app, workload.make_request,
+            burst_rate=500.0, length=0.3, interval=2.0,
+            rng=streams.get("pulse"),
+        )
+        pulse.start()
+        sim.run(until=20.0)
+        average = pulse.requests_sent / 20.0
+        assert average == pytest.approx(500.0 * 0.3 / 2.0, rel=0.3)
+
+    def test_validation(self):
+        sim, deployment, workload, streams = small_system()
+        with pytest.raises(ValueError):
+            PulsatingAttack(
+                sim, deployment.app, workload.make_request,
+                burst_rate=100.0, length=2.0, interval=1.0,
+            )
+        with pytest.raises(ValueError):
+            PulsatingAttack(
+                sim, deployment.app, workload.make_request,
+                burst_rate=0.0,
+            )
+
+
+def rate_series(values, interval=1.0):
+    series = TimeSeries("rate")
+    for i, v in enumerate(values):
+        series.append(i * interval, float(v))
+    return series
+
+
+class TestRateAnomalyDetector:
+    def test_flat_traffic_passes(self):
+        rng = np.random.default_rng(1)
+        series = rate_series(100 + 5 * rng.standard_normal(120))
+        report = RateAnomalyDetector(baseline=100.0).run(series)
+        assert not report.detected
+
+    def test_sustained_surge_detected(self):
+        values = [100.0] * 30 + [250.0] * 30 + [100.0] * 30
+        report = RateAnomalyDetector(baseline=100.0).run(
+            rate_series(values)
+        )
+        assert report.detected
+        assert "surge" in report.detail
+
+    def test_periodic_bursts_detected(self):
+        rng = np.random.default_rng(2)
+        values = []
+        for cycle in range(20):
+            values.extend(100 + 3 * rng.standard_normal(4))
+            values.append(400.0)  # one burst second per 5 s
+        report = RateAnomalyDetector(baseline=100.0).run(
+            rate_series(values)
+        )
+        assert report.detected
+        assert "periodic" in report.detail
+
+    def test_short_blip_tolerated(self):
+        values = [100.0] * 50 + [200.0] * 2 + [100.0] * 50
+        report = RateAnomalyDetector(
+            baseline=100.0, min_surge_duration=10.0
+        ).run(rate_series(values))
+        assert not report.detected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateAnomalyDetector(baseline=0.0)
+        with pytest.raises(ValueError):
+            RateAnomalyDetector(baseline=10.0, surge_factor=1.0)

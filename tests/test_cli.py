@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_is_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_list_explicit(self, capsys):
+        assert main(["list"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["rowhammer"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_figure_has_an_entry(self):
+        for figure in ("fig2", "fig3", "fig6", "fig7", "fig9", "fig10",
+                       "fig11"):
+            assert figure in EXPERIMENTS
+
+    def test_run_fig3(self, capsys):
+        # fig3 is analytic and instant — safe to execute in a unit test.
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "done in" in out
+
+    def test_descriptions_are_informative(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert len(description) > 10
+            assert callable(runner)

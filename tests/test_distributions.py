@@ -1,0 +1,164 @@
+"""Unit tests for service-demand distributions and sessioned users."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    BoundedPareto,
+    Deterministic,
+    Exponential,
+    LogNormal,
+    RubbosWorkload,
+)
+
+ALL_DISTRIBUTIONS = (
+    Deterministic(),
+    Exponential(),
+    LogNormal(sigma=1.0),
+    BoundedPareto(alpha=1.8),
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "distribution", ALL_DISTRIBUTIONS, ids=lambda d: d.name
+    )
+    def test_mean_preserved(self, distribution):
+        rng = np.random.default_rng(1)
+        target = 0.01
+        samples = [
+            distribution.sample(rng, target) for _ in range(20000)
+        ]
+        assert np.mean(samples) == pytest.approx(target, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "distribution", ALL_DISTRIBUTIONS, ids=lambda d: d.name
+    )
+    def test_samples_positive(self, distribution):
+        rng = np.random.default_rng(2)
+        assert all(
+            distribution.sample(rng, 0.5) > 0 for _ in range(100)
+        )
+
+    @pytest.mark.parametrize(
+        "distribution", ALL_DISTRIBUTIONS, ids=lambda d: d.name
+    )
+    def test_invalid_mean_rejected(self, distribution):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            distribution.sample(rng, 0.0)
+
+    def test_deterministic_has_zero_variance(self):
+        rng = np.random.default_rng(4)
+        d = Deterministic()
+        samples = {d.sample(rng, 0.2) for _ in range(10)}
+        assert samples == {0.2}
+
+    def test_heavier_tails_rank(self):
+        rng = np.random.default_rng(5)
+        n = 50000
+
+        def p999(distribution):
+            samples = [distribution.sample(rng, 1.0) for _ in range(n)]
+            return np.percentile(samples, 99.9)
+
+        assert p999(Exponential()) < p999(LogNormal(sigma=1.5))
+
+    def test_pareto_capped(self):
+        rng = np.random.default_rng(6)
+        d = BoundedPareto(alpha=1.2, cap_factor=10.0)
+        samples = [d.sample(rng, 1.0) for _ in range(20000)]
+        assert max(samples) <= 10.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(sigma=0.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(alpha=1.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(cap_factor=0.5)
+
+
+class TestWorkloadDistributionIntegration:
+    def test_workload_uses_distribution(self):
+        deterministic = RubbosWorkload(
+            rng=np.random.default_rng(7), distribution=Deterministic()
+        )
+        page = deterministic.pages[0]
+        assert deterministic.sample_demands(page) == (
+            deterministic.sample_demands(page)
+        )
+
+    def test_deterministic_flag_back_compat(self):
+        wl = RubbosWorkload(
+            rng=np.random.default_rng(8), deterministic_demands=True
+        )
+        assert wl.distribution.name == "deterministic"
+
+    def test_default_is_exponential(self):
+        wl = RubbosWorkload(rng=np.random.default_rng(9))
+        assert wl.distribution.name == "exponential"
+
+
+class TestSessionedUsers:
+    def test_session_factory_gives_independent_states(self):
+        wl = RubbosWorkload(rng=np.random.default_rng(10))
+        a = wl.session_request_factory()
+        b = wl.session_request_factory()
+        pages_a = [a(i).page for i in range(30)]
+        pages_b = [b(i).page for i in range(30)]
+        assert pages_a != pages_b  # separate navigation trajectories
+
+    def test_session_factory_mix_approximates_stationary(self):
+        wl = RubbosWorkload(rng=np.random.default_rng(11))
+        pi = dict(
+            zip(
+                [p.name for p in wl.pages],
+                wl.stationary_distribution(),
+            )
+        )
+        factory = wl.session_request_factory()
+        n = 6000
+        counts = {}
+        for i in range(n):
+            page = factory(i).page
+            counts[page] = counts.get(page, 0) + 1
+        for name, target in pi.items():
+            assert counts.get(name, 0) / n == pytest.approx(
+                target, abs=0.05
+            )
+
+    def test_population_accepts_session_factory(self):
+        from repro.cloud import CloudDeployment, DeploymentConfig, TierConfig
+        from repro.ntier import UserPopulation
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        deployment = CloudDeployment(
+            sim,
+            DeploymentConfig(
+                tiers=(TierConfig("web", vcpus=2, concurrency=20),)
+            ),
+        )
+        wl = RubbosWorkload(rng=np.random.default_rng(12))
+        population = UserPopulation(
+            sim,
+            deployment.app,
+            request_factory=None,
+            session_factory=wl.session_request_factory,
+            users=10,
+            think_time=0.5,
+            rng=np.random.default_rng(13),
+        )
+        population.start()
+        sim.run(until=10.0)
+        assert population.total_requests_sent > 50
+
+    def test_population_requires_some_factory(self):
+        from repro.ntier import UserPopulation
+        from repro.sim import Simulator
+
+        with pytest.raises(ValueError):
+            UserPopulation(
+                Simulator(), None, request_factory=None, users=1
+            )

@@ -1,0 +1,198 @@
+"""Unit tests for the shared memory-bandwidth contention model."""
+
+import pytest
+
+from repro.hardware import (
+    Host,
+    MemoryActivity,
+    MemorySubsystem,
+    XEON_E5_2603_V3,
+)
+
+B = XEON_E5_2603_V3.mem_bandwidth_mbps
+
+
+@pytest.fixture
+def host():
+    return Host("h", XEON_E5_2603_V3)
+
+
+@pytest.fixture
+def mem(host):
+    return MemorySubsystem(host)
+
+
+def place_and_stream(host, mem, name, demand, package=0, **kwargs):
+    host.place(name, package=package)
+    mem.set_activity(MemoryActivity(name, demand_mbps=demand, **kwargs))
+
+
+class TestActivityValidation:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryActivity("x", demand_mbps=-1.0)
+
+    def test_lock_duty_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryActivity("x", demand_mbps=0.0, lock_duty=1.5)
+
+    def test_unplaced_vm_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.set_activity(MemoryActivity("ghost", demand_mbps=100.0))
+
+
+class TestBandwidthSharing:
+    def test_single_stream_gets_full_package(self, host, mem):
+        place_and_stream(host, mem, "solo", B)
+        assert mem.measured_bandwidth("solo") == pytest.approx(B)
+
+    def test_stream_never_gets_more_than_demand(self, host, mem):
+        place_and_stream(host, mem, "tiny", 500.0)
+        assert mem.measured_bandwidth("tiny") == pytest.approx(500.0)
+
+    def test_two_streams_split_sublinearly(self, host, mem):
+        place_and_stream(host, mem, "a", B)
+        place_and_stream(host, mem, "b", B)
+        each = mem.measured_bandwidth("a")
+        assert each < B / 2  # efficiency loss under contention
+        assert each == pytest.approx(mem.measured_bandwidth("b"))
+
+    def test_monotonic_decrease_with_streams(self, host, mem):
+        previous = float("inf")
+        for i in range(6):
+            place_and_stream(host, mem, f"vm{i}", B)
+            current = mem.measured_bandwidth("vm0")
+            assert current < previous
+            previous = current
+
+    def test_proportional_to_demand(self, host, mem):
+        place_and_stream(host, mem, "big", B)
+        place_and_stream(host, mem, "small", B / 4)
+        assert mem.measured_bandwidth("big") > mem.measured_bandwidth("small")
+
+    def test_efficiency_bounds(self, mem):
+        assert mem.efficiency(1) == 1.0
+        assert 0 < mem.efficiency(10) < 1.0
+
+    def test_clear_restores_bandwidth(self, host, mem):
+        place_and_stream(host, mem, "a", B)
+        place_and_stream(host, mem, "b", B)
+        mem.clear_activity("b")
+        assert mem.measured_bandwidth("a") == pytest.approx(B)
+
+
+class TestLocking:
+    def test_lock_starves_other_streams(self, host, mem):
+        place_and_stream(host, mem, "victim", B)
+        place_and_stream(host, mem, "locker", 50.0, lock_duty=0.9)
+        attained = mem.measured_bandwidth("victim")
+        assert attained < 0.15 * B
+
+    def test_lock_more_damaging_than_saturation(self, host, mem):
+        place_and_stream(host, mem, "victim", B)
+        place_and_stream(host, mem, "attacker", B, thrashes_llc=True)
+        under_saturation = mem.measured_bandwidth("victim")
+        mem.set_activity(
+            MemoryActivity("attacker", demand_mbps=50.0, lock_duty=0.9)
+        )
+        under_lock = mem.measured_bandwidth("victim")
+        assert under_lock < under_saturation
+
+    def test_own_lock_does_not_starve_self(self, host, mem):
+        place_and_stream(host, mem, "locker", 50.0, lock_duty=0.9)
+        assert mem.measured_bandwidth("locker") == pytest.approx(50.0)
+
+    def test_lock_duty_sums_but_saturates(self, host, mem):
+        place_and_stream(host, mem, "victim", B)
+        place_and_stream(host, mem, "l1", 10.0, lock_duty=0.6)
+        place_and_stream(host, mem, "l2", 10.0, lock_duty=0.6)
+        # Total foreign duty capped below 1: victim retains something.
+        assert mem.measured_bandwidth("victim") > 0
+
+
+class TestPlacement:
+    def test_random_package_spreads_demand(self, host, mem):
+        # Floating VMs: each package sees half the contention.
+        host.place("a", package=None)
+        host.place("b", package=None)
+        mem.set_activity(MemoryActivity("a", demand_mbps=B))
+        mem.set_activity(MemoryActivity("b", demand_mbps=B))
+        floating = mem.measured_bandwidth("a")
+
+        pinned_host = Host("h2", XEON_E5_2603_V3)
+        pinned_mem = MemorySubsystem(pinned_host)
+        place_and_stream(pinned_host, pinned_mem, "a", B, package=0)
+        place_and_stream(pinned_host, pinned_mem, "b", B, package=0)
+        pinned = pinned_mem.measured_bandwidth("a")
+        assert floating > pinned
+
+    def test_different_packages_do_not_contend(self, host, mem):
+        place_and_stream(host, mem, "a", B, package=0)
+        place_and_stream(host, mem, "b", B, package=1)
+        assert mem.measured_bandwidth("a") == pytest.approx(B)
+        assert mem.measured_bandwidth("b") == pytest.approx(B)
+
+
+class TestSpeedFactor:
+    def test_uncontended_vm_full_speed(self, host, mem):
+        place_and_stream(host, mem, "vm", 2000.0)
+        assert mem.speed_factor("vm") == pytest.approx(1.0)
+
+    def test_lock_attack_gives_degradation_index(self, host, mem):
+        place_and_stream(host, mem, "victim", 2000.0)
+        place_and_stream(host, mem, "locker", 50.0, lock_duty=0.9)
+        # D = 1 - lock duty when bandwidth share is otherwise ample.
+        assert mem.speed_factor("victim") == pytest.approx(0.1, abs=0.02)
+
+    def test_saturation_attack_mild_for_light_victim(self, host, mem):
+        place_and_stream(host, mem, "victim", 2000.0)
+        place_and_stream(host, mem, "attacker", B, thrashes_llc=True)
+        factor = mem.speed_factor("victim")
+        assert 0.5 < factor < 1.0
+
+    def test_vm_with_no_activity_only_hurt_by_locks(self, host, mem):
+        host.place("idle", package=0)
+        place_and_stream(host, mem, "attacker", B)
+        assert mem.speed_factor("idle") == pytest.approx(1.0)
+        mem.set_activity(
+            MemoryActivity("attacker", demand_mbps=50.0, lock_duty=0.5)
+        )
+        assert mem.speed_factor("idle") == pytest.approx(0.5)
+
+    def test_speed_factor_in_unit_interval(self, host, mem):
+        place_and_stream(host, mem, "victim", 2000.0)
+        place_and_stream(host, mem, "l", 50.0, lock_duty=0.98)
+        factor = mem.speed_factor("victim")
+        assert 0.0 <= factor <= 1.0
+
+
+class TestSubscriptions:
+    def test_listener_called_on_set_and_clear(self, host, mem):
+        calls = []
+        mem.subscribe(lambda: calls.append(1))
+        place_and_stream(host, mem, "vm", 100.0)
+        mem.clear_activity("vm")
+        assert len(calls) == 2
+
+    def test_clear_unknown_is_silent(self, mem):
+        calls = []
+        mem.subscribe(lambda: calls.append(1))
+        mem.clear_activity("never-registered")
+        assert calls == []
+
+
+class TestLLCThrashers:
+    def test_counts_only_thrashing_neighbours(self, host, mem):
+        host.place("victim", package=0)
+        place_and_stream(host, mem, "sat", B, package=0, thrashes_llc=True)
+        place_and_stream(host, mem, "lock", 50.0, package=0, lock_duty=0.9)
+        assert mem.llc_thrashers_near("victim") == 1
+
+    def test_other_package_does_not_count(self, host, mem):
+        host.place("victim", package=0)
+        place_and_stream(host, mem, "sat", B, package=1, thrashes_llc=True)
+        assert mem.llc_thrashers_near("victim") == 0
+
+    def test_self_not_counted(self, host, mem):
+        place_and_stream(host, mem, "victim", B, thrashes_llc=True)
+        assert mem.llc_thrashers_near("victim") == 0

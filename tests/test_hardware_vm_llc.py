@@ -1,0 +1,134 @@
+"""Unit tests for VM contention coupling and the LLC-miss counter."""
+
+import pytest
+
+from repro.hardware import (
+    Host,
+    LLCMissCounter,
+    MemoryActivity,
+    MemorySubsystem,
+    VirtualMachine,
+    XEON_E5_2603_V3,
+)
+from repro.sim import Simulator
+
+B = XEON_E5_2603_V3.mem_bandwidth_mbps
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    host = Host("h", XEON_E5_2603_V3)
+    mem = MemorySubsystem(host)
+    return sim, host, mem
+
+
+class TestVirtualMachine:
+    def test_attach_places_and_registers_demand(self, setup):
+        sim, host, mem = setup
+        vm = VirtualMachine(sim, "db", vcpus=2, mem_demand_mbps=2000.0)
+        vm.attach(host, mem, package=0)
+        assert host.placements["db"] == 0
+        activity = mem.activity_of("db")
+        assert activity is not None and activity.demand_mbps == 2000.0
+
+    def test_double_attach_rejected(self, setup):
+        sim, host, mem = setup
+        vm = VirtualMachine(sim, "db")
+        vm.attach(host, mem, package=0)
+        with pytest.raises(ValueError):
+            vm.attach(host, mem, package=1)
+
+    def test_lock_attack_slows_cpu(self, setup):
+        sim, host, mem = setup
+        vm = VirtualMachine(sim, "db", vcpus=2, mem_demand_mbps=2000.0)
+        vm.attach(host, mem, package=0)
+        host.place("adversary", package=0)
+        mem.set_activity(
+            MemoryActivity("adversary", demand_mbps=50.0, lock_duty=0.9)
+        )
+        assert vm.cpu.speed == pytest.approx(0.1, abs=0.02)
+        mem.clear_activity("adversary")
+        assert vm.cpu.speed == pytest.approx(1.0)
+
+    def test_speed_history_records_transitions(self, setup):
+        sim, host, mem = setup
+        vm = VirtualMachine(sim, "db", mem_demand_mbps=2000.0)
+        vm.attach(host, mem, package=0)
+        host.place("adversary", package=0)
+        mem.set_activity(
+            MemoryActivity("adversary", demand_mbps=50.0, lock_duty=0.9)
+        )
+        mem.clear_activity("adversary")
+        speeds = [s for _t, s in vm.speed_history]
+        assert speeds[0] == 1.0
+        assert min(speeds) < 0.2
+        assert speeds[-1] == 1.0
+
+    def test_attack_slows_running_job(self, setup):
+        sim, host, mem = setup
+        vm = VirtualMachine(sim, "db", vcpus=1, mem_demand_mbps=2000.0)
+        vm.attach(host, mem, package=0)
+        host.place("adversary", package=0)
+        results = {}
+
+        def job(sim):
+            start = sim.now
+            yield vm.cpu.execute(1.0)
+            results["span"] = (start, sim.now)
+
+        sim.process(job(sim))
+
+        def burst():
+            mem.set_activity(
+                MemoryActivity("adversary", demand_mbps=50.0, lock_duty=0.9)
+            )
+
+        sim.call_in(0.5, burst)
+        sim.call_in(1.0, lambda: mem.clear_activity("adversary"))
+        sim.run()
+        # 0.5 done before the burst; 0.05 during (speed 0.1 for 0.5 s);
+        # remaining 0.45 after recovery -> completion at ~1.45.
+        assert results["span"][1] == pytest.approx(1.45, abs=0.02)
+
+
+class TestLLCMissCounter:
+    def test_baseline_rate_integrates(self, setup):
+        sim, host, mem = setup
+        host.place("db", package=0)
+        counter = LLCMissCounter(sim, mem, "db", baseline_rate=1000.0)
+        sim.run(until=2.0)
+        assert counter.value == pytest.approx(2000.0)
+
+    def test_thrasher_multiplies_rate(self, setup):
+        sim, host, mem = setup
+        host.place("db", package=0)
+        host.place("attacker", package=0)
+        counter = LLCMissCounter(
+            sim, mem, "db", baseline_rate=1000.0, thrash_multiplier=9.0
+        )
+        sim.run(until=1.0)
+        mem.set_activity(
+            MemoryActivity("attacker", demand_mbps=B, thrashes_llc=True)
+        )
+        assert counter.rate == pytest.approx(10000.0)
+        sim.run(until=2.0)
+        assert counter.value == pytest.approx(11000.0)
+
+    def test_lock_attack_leaves_rate_unchanged(self, setup):
+        sim, host, mem = setup
+        host.place("db", package=0)
+        host.place("attacker", package=0)
+        counter = LLCMissCounter(sim, mem, "db", baseline_rate=1000.0)
+        mem.set_activity(
+            MemoryActivity("attacker", demand_mbps=50.0, lock_duty=0.9)
+        )
+        assert counter.rate == pytest.approx(1000.0)
+
+    def test_invalid_parameters(self, setup):
+        sim, host, mem = setup
+        host.place("db", package=0)
+        with pytest.raises(ValueError):
+            LLCMissCounter(sim, mem, "db", baseline_rate=-1.0)
+        with pytest.raises(ValueError):
+            LLCMissCounter(sim, mem, "db", thrash_multiplier=-1.0)

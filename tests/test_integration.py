@@ -1,0 +1,236 @@
+"""Integration tests: whole-system behaviours at small scale.
+
+These are miniature versions of the paper's experiments, checked for
+qualitative correctness (who wins, what amplifies, what hides) rather
+than exact values — fast enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AutoScalingPolicy,
+    CloudDeployment,
+    DeploymentConfig,
+    TierConfig,
+)
+from repro.core import MemCAAttack, MemoryLockAttack
+from repro.model import mm1_mean_rt
+from repro.monitoring import UtilizationMonitor
+from repro.ntier import UserPopulation
+from repro.sim import RandomStreams, Simulator
+from repro.workload import (
+    OpenLoopGenerator,
+    RubbosWorkload,
+    exponential_request_factory,
+)
+
+
+def small_deployment(sim):
+    """A scaled-down 3-tier deployment for fast integration tests."""
+    return CloudDeployment(
+        sim,
+        DeploymentConfig(
+            tiers=(
+                TierConfig("apache", vcpus=2, concurrency=24,
+                           max_backlog=4),
+                TierConfig("tomcat", vcpus=2, concurrency=12),
+                TierConfig("mysql", vcpus=2, concurrency=4),
+            )
+        ),
+    )
+
+
+def drive_rubbos(sim, deployment, users, think, seed=1):
+    streams = RandomStreams(seed)
+    workload = RubbosWorkload(
+        rng=streams.get("workload"), demand_scale=3.0
+    )
+    population = UserPopulation(
+        sim,
+        deployment.app,
+        workload.make_request,
+        users=users,
+        think_time=think,
+        rng=streams.get("users"),
+    )
+    population.start()
+    return workload
+
+
+class TestDesMatchesQueueingTheory:
+    def test_single_station_matches_mm1(self):
+        """An open-loop single tier must reproduce M/M/1 sojourns."""
+        sim = Simulator()
+        deployment = CloudDeployment(
+            sim,
+            DeploymentConfig(
+                tiers=(TierConfig("db", vcpus=1, concurrency=1),)
+            ),
+        )
+        streams = RandomStreams(3)
+        service_rate = 200.0
+        arrival_rate = 120.0
+        factory = exponential_request_factory(
+            {"db": 1.0 / service_rate}, streams.get("demands")
+        )
+        generator = OpenLoopGenerator(
+            sim,
+            deployment.app,
+            factory,
+            rate=arrival_rate,
+            rng=streams.get("arrivals"),
+        )
+        generator.start()
+        sim.run(until=120.0)
+        rts = [
+            r.response_time
+            for r in deployment.app.completed
+            if r.t_done > 20.0
+        ]
+        expected = mm1_mean_rt(arrival_rate, service_rate)
+        assert np.mean(rts) == pytest.approx(expected, rel=0.15)
+
+    def test_utilization_matches_offered_load(self):
+        sim = Simulator()
+        deployment = CloudDeployment(
+            sim,
+            DeploymentConfig(
+                tiers=(TierConfig("db", vcpus=1, concurrency=1),)
+            ),
+        )
+        streams = RandomStreams(4)
+        factory = exponential_request_factory(
+            {"db": 0.005}, streams.get("demands")
+        )
+        OpenLoopGenerator(
+            sim, deployment.app, factory, rate=100.0,
+            rng=streams.get("arrivals"),
+        ).start()
+        cpu = deployment.vm("db").cpu
+        sim.run(until=60.0)
+        utilization = cpu.busy_core_seconds / 60.0
+        assert utilization == pytest.approx(0.5, abs=0.05)
+
+
+class TestAttackDamage:
+    def test_attack_inflates_client_tail(self):
+        def run(attack_on):
+            sim = Simulator()
+            deployment = small_deployment(sim)
+            drive_rubbos(sim, deployment, users=180, think=1.1)
+            if attack_on:
+                attack = MemCAAttack(
+                    sim, deployment, program=MemoryLockAttack(),
+                    length=0.4, interval=2.0,
+                )
+                attack.launch()
+            sim.run(until=30.0)
+            rts = [
+                r.response_time
+                for r in deployment.app.completed
+                if r.t_done > 5.0
+            ]
+            return np.percentile(rts, 95), deployment.app.front.drops
+
+        quiet_p95, quiet_drops = run(attack_on=False)
+        loud_p95, loud_drops = run(attack_on=True)
+        assert quiet_p95 < 0.2
+        assert loud_p95 > 5 * quiet_p95
+        assert loud_drops > quiet_drops
+
+    def test_tail_amplifies_front_ward(self):
+        sim = Simulator()
+        deployment = small_deployment(sim)
+        drive_rubbos(sim, deployment, users=180, think=1.1)
+        MemCAAttack(
+            sim, deployment, length=0.4, interval=2.0
+        ).launch()
+        sim.run(until=30.0)
+        completed = [
+            r for r in deployment.app.completed if r.t_done > 5.0
+        ]
+
+        def p95(tier):
+            samples = [
+                rt
+                for rt in (r.tier_response_time(tier) for r in completed)
+                if rt is not None
+            ]
+            return np.percentile(samples, 95)
+
+        client = np.percentile(
+            [r.response_time for r in completed], 95
+        )
+        assert p95("mysql") <= p95("tomcat") * 1.05
+        assert p95("tomcat") <= client * 1.05
+        assert client > p95("mysql")
+
+    def test_attack_self_reports_effect(self):
+        sim = Simulator()
+        deployment = small_deployment(sim)
+        drive_rubbos(sim, deployment, users=180, think=1.1)
+        attack = MemCAAttack(sim, deployment, length=0.4, interval=2.0)
+        attack.launch()
+        sim.run(until=20.0)
+        effect = attack.effect(since=5.0)
+        assert effect.requests > 500
+        assert effect.bursts >= 7
+        assert effect.millibottlenecks  # observed transient saturations
+        assert effect.mean_millibottleneck < 1.5
+
+
+class TestAttackStealth:
+    def test_autoscaling_not_triggered_by_attack(self):
+        sim = Simulator()
+        deployment = small_deployment(sim)
+        drive_rubbos(sim, deployment, users=140, think=1.1)
+        MemCAAttack(sim, deployment, length=0.4, interval=2.0).launch()
+        monitor = UtilizationMonitor(
+            sim, deployment.vm("mysql").cpu, interval=0.05
+        )
+        monitor.start()
+        sim.run(until=60.0)
+        policy = AutoScalingPolicy(threshold=0.85, period=20.0)
+        assert policy.evaluate(monitor.series) == []
+
+    def test_fine_monitoring_sees_what_coarse_misses(self):
+        sim = Simulator()
+        deployment = small_deployment(sim)
+        drive_rubbos(sim, deployment, users=140, think=1.1)
+        MemCAAttack(sim, deployment, length=0.4, interval=2.0).launch()
+        monitor = UtilizationMonitor(
+            sim, deployment.vm("mysql").cpu, interval=0.05
+        )
+        monitor.start()
+        sim.run(until=40.0)
+        fine = monitor.series
+        coarse = fine.resample(20.0)
+        assert fine.max() == pytest.approx(1.0)
+        assert coarse.max() < 0.85
+
+    def test_feedback_loop_escalates_weak_attack(self):
+        sim = Simulator()
+        deployment = small_deployment(sim)
+        workload = drive_rubbos(sim, deployment, users=180, think=1.1)
+        attack = MemCAAttack(
+            sim, deployment, length=0.15, interval=2.5, intensity=0.3
+        )
+        attack.launch()
+        attack.enable_feedback(
+            workload.make_request,
+            probe_rate=3.0,
+            epoch=5.0,
+            rng=np.random.default_rng(8),
+        )
+        sim.run(until=60.0)
+        history = attack.backend.history
+        assert history
+        first = history[0]
+        last = history[-1]
+        strengthened = (
+            last.intensity > first.intensity
+            or last.length > first.length
+            or last.interval < first.interval
+        )
+        assert strengthened

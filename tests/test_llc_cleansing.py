@@ -1,0 +1,126 @@
+"""Unit tests for the LLC-cleansing program and the LLC pressure path."""
+
+import pytest
+
+from repro.core import (
+    LLCCleansingAttack,
+    MemoryBusSaturation,
+    MemoryLockAttack,
+)
+from repro.hardware import (
+    Host,
+    MemoryActivity,
+    MemorySubsystem,
+    XEON_E5_2603_V3,
+)
+
+B = XEON_E5_2603_V3.mem_bandwidth_mbps
+LLC = XEON_E5_2603_V3.llc_mb_per_package
+
+
+@pytest.fixture
+def setup():
+    host = Host("h", XEON_E5_2603_V3)
+    mem = MemorySubsystem(host)
+    host.place("victim", package=0)
+    host.place("adversary", package=0)
+    mem.set_activity(MemoryActivity("victim", demand_mbps=2000.0))
+    return host, mem
+
+
+class TestLLCPressure:
+    def test_no_footprint_no_pressure(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            MemoryActivity("adversary", demand_mbps=1000.0)
+        )
+        assert mem.llc_pressure("victim", 0) == 0.0
+
+    def test_pressure_scales_with_footprint(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            MemoryActivity(
+                "adversary", demand_mbps=1000.0,
+                llc_footprint_mb=LLC / 2,
+            )
+        )
+        assert mem.llc_pressure("victim", 0) == pytest.approx(0.5)
+
+    def test_pressure_saturates_at_one(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            MemoryActivity(
+                "adversary", demand_mbps=1000.0,
+                llc_footprint_mb=LLC * 5,
+            )
+        )
+        assert mem.llc_pressure("victim", 0) == 1.0
+
+    def test_own_footprint_ignored(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            MemoryActivity(
+                "victim", demand_mbps=2000.0, llc_footprint_mb=LLC * 2
+            )
+        )
+        assert mem.llc_pressure("victim", 0) == 0.0
+
+    def test_full_pressure_slows_by_penalty(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            MemoryActivity(
+                "adversary", demand_mbps=100.0,
+                llc_footprint_mb=LLC * 3,
+            )
+        )
+        # Bandwidth is ample; only the LLC penalty applies.
+        assert mem.speed_factor("victim") == pytest.approx(
+            1.0 - MemorySubsystem.LLC_PENALTY, abs=0.02
+        )
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryActivity("x", demand_mbps=1.0, llc_footprint_mb=-1.0)
+
+
+class TestCleansingProgram:
+    def test_activity_shape(self):
+        program = LLCCleansingAttack()
+        activity = program.activity("adversary", 1.0)
+        assert activity.thrashes_llc
+        assert activity.lock_duty == 0.0
+        assert activity.llc_footprint_mb > 0
+
+    def test_intensity_scales_footprint(self):
+        program = LLCCleansingAttack(footprint_mb=30.0)
+        assert program.activity("a", 0.5).llc_footprint_mb == 15.0
+
+    def test_damage_ordering_lock_saturate_cleanse(self, setup):
+        """Per-program victim slowdown: lock < saturate < cleanse."""
+        host, mem = setup
+
+        def victim_speed(program, intensity=1.0):
+            mem.set_activity(program.activity("adversary", intensity))
+            try:
+                return mem.speed_factor("victim")
+            finally:
+                mem.clear_activity("adversary")
+
+        lock = victim_speed(MemoryLockAttack())
+        saturate = victim_speed(
+            MemoryBusSaturation(stream_bandwidth_mbps=B)
+        )
+        cleanse = victim_speed(LLCCleansingAttack())
+        assert lock < saturate < cleanse < 1.0
+
+    def test_cleansing_visible_to_llc_counter(self, setup):
+        host, mem = setup
+        mem.set_activity(
+            LLCCleansingAttack().activity("adversary", 1.0)
+        )
+        assert mem.llc_thrashers_near("victim") == 1
+
+    def test_lock_invisible_to_llc_counter(self, setup):
+        host, mem = setup
+        mem.set_activity(MemoryLockAttack().activity("adversary", 1.0))
+        assert mem.llc_thrashers_near("victim") == 0

@@ -1,0 +1,208 @@
+"""Unit tests for time series, samplers, and the LLC profiler."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    Host,
+    LLCMissCounter,
+    MemorySubsystem,
+)
+from repro.monitoring import (
+    GRANULARITIES,
+    LLCMissProfiler,
+    PeriodicSampler,
+    TimeSeries,
+    UtilizationMonitor,
+)
+from repro.sim import ProcessorSharingServer, Simulator
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_non_monotonic_time_rejected(self):
+        ts = TimeSeries()
+        ts.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(4.0, 1.0)
+
+    def test_between_half_open(self):
+        ts = TimeSeries()
+        for t in range(5):
+            ts.append(float(t), float(t))
+        window = ts.between(1.0, 3.0)
+        assert list(window.times) == [1.0, 2.0]
+
+    def test_resample_mean(self):
+        ts = TimeSeries()
+        for i in range(10):
+            ts.append(i * 0.1, float(i))
+        coarse = ts.resample(0.5)
+        assert len(coarse) == 2
+        assert coarse.values[0] == pytest.approx(np.mean([0, 1, 2, 3, 4]))
+
+    def test_resample_max(self):
+        ts = TimeSeries()
+        for i in range(10):
+            ts.append(i * 0.1, float(i))
+        coarse = ts.resample(0.5, agg="max")
+        assert coarse.values[0] == 4.0
+
+    def test_resample_dilutes_bursts(self):
+        # The stealthiness mechanism: a short burst disappears in a
+        # coarse average.
+        ts = TimeSeries()
+        for i in range(1200):
+            t = i * 0.05
+            ts.append(t, 1.0 if (t % 2.0) < 0.5 else 0.4)
+        fine_max = ts.max()
+        coarse = ts.resample(60.0)
+        assert fine_max == 1.0
+        assert coarse.max() < 0.6
+
+    def test_resample_invalid(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.resample(0.0)
+        with pytest.raises(ValueError):
+            ts.resample(1.0, agg="median")
+
+    def test_empty_series_stats_raise(self):
+        ts = TimeSeries()
+        with pytest.raises(ValueError):
+            ts.mean()
+        with pytest.raises(ValueError):
+            ts.max()
+
+    def test_fraction_above(self):
+        ts = TimeSeries()
+        for v in (0.1, 0.5, 0.9, 1.0):
+            ts.append(len(ts) * 1.0, v)
+        assert ts.fraction_above(0.6) == 0.5
+
+    def test_intervals_above_basic(self):
+        ts = TimeSeries()
+        values = [0, 1, 1, 0, 1, 0]
+        for i, v in enumerate(values):
+            ts.append(float(i), float(v))
+        spans = ts.intervals_above(0.5)
+        assert spans == [(0.0, 3.0), (3.0, 5.0)]
+
+    def test_intervals_above_open_ended(self):
+        ts = TimeSeries()
+        for i, v in enumerate([0, 1, 1]):
+            ts.append(float(i), float(v))
+        spans = ts.intervals_above(0.5)
+        assert spans == [(0.0, 2.0)]
+
+    def test_granularities_match_paper(self):
+        assert GRANULARITIES["cloudwatch_1min"] == 60.0
+        assert GRANULARITIES["fine_1s"] == 1.0
+        assert GRANULARITIES["ultrafine_50ms"] == 0.05
+
+
+class TestPeriodicSampler:
+    def test_samples_at_interval(self):
+        sim = Simulator()
+        state = {"v": 0.0}
+        sampler = PeriodicSampler(sim, 0.5, {"metric": lambda: state["v"]})
+        sampler.start()
+        sim.call_in(1.2, lambda: state.update(v=5.0))
+        sim.run(until=2.0)
+        series = sampler.series["metric"]
+        assert len(series) == 4
+        assert list(series.values) == [0.0, 0.0, 5.0, 5.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicSampler(Simulator(), 0.0, {})
+
+
+class TestUtilizationMonitor:
+    def test_busy_cpu_reads_one(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        cpu.execute(10.0)
+        monitor = UtilizationMonitor(sim, cpu, interval=0.5)
+        monitor.start()
+        sim.run(until=3.0)
+        assert all(v == pytest.approx(1.0) for v in monitor.series.values)
+
+    def test_idle_cpu_reads_zero(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        monitor = UtilizationMonitor(sim, cpu, interval=0.5)
+        monitor.start()
+        sim.run(until=2.0)
+        assert all(v == 0.0 for v in monitor.series.values)
+
+    def test_partial_utilization(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=2)
+        cpu.execute(1.0)  # one core busy for 1s
+        monitor = UtilizationMonitor(sim, cpu, interval=1.0)
+        monitor.start()
+        sim.run(until=2.0)
+        assert monitor.series.values[0] == pytest.approx(0.5)
+        assert monitor.series.values[1] == pytest.approx(0.0)
+
+    def test_stalled_cpu_reads_busy(self):
+        # Cross-resource signature: degraded speed still looks busy.
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1, speed=0.01)
+        cpu.execute(1.0)
+        monitor = UtilizationMonitor(sim, cpu, interval=1.0)
+        monitor.start()
+        sim.run(until=3.0)
+        assert all(v == pytest.approx(1.0) for v in monitor.series.values)
+
+
+class TestLLCMissProfiler:
+    def _counter(self, sim):
+        host = Host("h")
+        mem = MemorySubsystem(host)
+        host.place("vm", package=0)
+        return LLCMissCounter(sim, mem, "vm", baseline_rate=1000.0)
+
+    def test_records_deltas(self):
+        sim = Simulator()
+        counter = self._counter(sim)
+        profiler = LLCMissProfiler(
+            sim, counter, interval=1.0, noise=0.0
+        )
+        profiler.start()
+        sim.run(until=3.0)
+        assert list(profiler.series.values) == pytest.approx(
+            [1000.0, 1000.0, 1000.0]
+        )
+
+    def test_noise_perturbs_but_preserves_scale(self):
+        sim = Simulator()
+        counter = self._counter(sim)
+        profiler = LLCMissProfiler(
+            sim,
+            counter,
+            interval=0.5,
+            noise=0.1,
+            rng=np.random.default_rng(1),
+        )
+        profiler.start()
+        sim.run(until=20.0)
+        values = profiler.series.values
+        assert np.mean(values) == pytest.approx(500.0, rel=0.1)
+        assert np.std(values) > 0
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        counter = self._counter(sim)
+        with pytest.raises(ValueError):
+            LLCMissProfiler(sim, counter, interval=0.0)
+        with pytest.raises(ValueError):
+            LLCMissProfiler(sim, counter, noise=-0.5)

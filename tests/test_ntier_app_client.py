@@ -1,0 +1,208 @@
+"""Unit tests for the assembled application and the client loops."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Host, MemorySubsystem, VirtualMachine
+from repro.ntier import (
+    ClosedLoopClient,
+    NTierApplication,
+    OpenLoopProber,
+    Request,
+    RetransmissionPolicy,
+    Tier,
+    UserPopulation,
+    fetch,
+)
+from repro.sim import Simulator
+
+
+def build_app(sim, concurrencies=(4, 2), backlog=0, demands=(0.01, 0.02)):
+    names = [f"t{i}" for i in range(len(concurrencies))]
+    tiers = []
+    for index, (name, c) in enumerate(zip(names, concurrencies)):
+        host = Host(f"h-{name}")
+        mem = MemorySubsystem(host)
+        vm = VirtualMachine(sim, name, vcpus=1)
+        vm.attach(host, mem, package=0)
+        tiers.append(
+            Tier(
+                sim,
+                name,
+                vm,
+                concurrency=c,
+                max_backlog=backlog if index == 0 else None,
+                net_delay=0.0,
+            )
+        )
+    app = NTierApplication(sim, tiers)
+    demand_map = dict(zip(names, demands))
+    return app, demand_map
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestNTierApplication:
+    def test_tiers_chained_front_to_back(self, sim):
+        app, _ = build_app(sim)
+        assert app.front.downstream is app.back
+        assert app.back.downstream is None
+
+    def test_tier_lookup(self, sim):
+        app, _ = build_app(sim)
+        assert app.tier("t0") is app.front
+        with pytest.raises(KeyError):
+            app.tier("nope")
+
+    def test_empty_tier_list_rejected(self, sim):
+        with pytest.raises(ValueError):
+            NTierApplication(sim, [])
+
+    def test_record_sorts_by_outcome(self, sim):
+        app, _ = build_app(sim)
+        ok = Request(rid=1, page="p", demands={})
+        bad = Request(rid=2, page="p", demands={})
+        bad.failed = True
+        app.record(ok)
+        app.record(bad)
+        assert app.completed == [ok] and app.failed == [bad]
+
+    def test_serve_tandem_records_suffix_spans(self, sim):
+        app, demands = build_app(sim)
+        request = Request(rid=1, page="p", demands=demands)
+
+        def client(sim):
+            yield from app.serve_tandem(request)
+
+        sim.process(client(sim))
+        sim.run()
+        # Suffix spans: front span covers the whole journey.
+        t0 = request.tier_response_time("t0")
+        t1 = request.tier_response_time("t1")
+        assert t0 == pytest.approx(0.03)
+        assert t1 == pytest.approx(0.02)
+
+
+class TestFetch:
+    def test_successful_fetch_records_completion(self, sim):
+        app, demands = build_app(sim)
+        request = Request(rid=1, page="p", demands=demands)
+
+        def client(sim):
+            yield from fetch(sim, app, request)
+
+        sim.process(client(sim))
+        sim.run()
+        assert request.completed
+        assert request.attempts == 1
+        assert app.completed == [request]
+
+    def test_drop_then_retransmit(self, sim):
+        app, demands = build_app(sim, concurrencies=(1, 1), backlog=0)
+        blocker = Request(rid=0, page="p", demands={"t0": 0.0, "t1": 0.5})
+        victim = Request(rid=1, page="p", demands={"t0": 0.0, "t1": 0.01})
+
+        def first(sim):
+            yield from fetch(sim, app, blocker)
+
+        def second(sim):
+            yield sim.timeout(0.1)
+            yield from fetch(sim, app, victim)
+
+        sim.process(first(sim))
+        sim.process(second(sim))
+        sim.run()
+        assert victim.attempts == 2
+        assert victim.response_time > 1.0  # paid one RTO
+        assert app.front.drops == 1
+
+    def test_gives_up_after_max_retries(self, sim):
+        app, demands = build_app(sim, concurrencies=(1, 1), backlog=0)
+        blocker = Request(rid=0, page="p", demands={"t0": 0.0, "t1": 1e6})
+        victim = Request(rid=1, page="p", demands={"t0": 0.0, "t1": 0.01})
+        tcp = RetransmissionPolicy(max_retries=2)
+
+        def first(sim):
+            yield from fetch(sim, app, blocker)
+
+        def second(sim):
+            yield sim.timeout(0.1)
+            yield from fetch(sim, app, victim, tcp=tcp)
+
+        sim.process(first(sim))
+        sim.process(second(sim))
+        sim.run(until=100.0)
+        assert victim.failed
+        assert victim.attempts == 3  # original + 2 retries
+        assert app.failed == [victim]
+
+
+class TestClosedLoopClient:
+    def test_user_alternates_think_and_request(self, sim):
+        app, demands = build_app(sim)
+        rng = np.random.default_rng(1)
+        factory = lambda rid: Request(rid=rid, page="p", demands=dict(demands))
+        client = ClosedLoopClient(
+            sim, app, factory, think_time=0.5, rng=rng
+        )
+        sim.process(client.run())
+        sim.run(until=20.0)
+        assert client.requests_sent > 10
+        assert len(app.completed) >= client.requests_sent - 1
+
+    def test_population_staggers_starts(self, sim):
+        app, demands = build_app(sim, concurrencies=(50, 40))
+        rng = np.random.default_rng(2)
+        factory = lambda rid: Request(rid=rid, page="p", demands=dict(demands))
+        pop = UserPopulation(
+            sim, app, factory, users=20, think_time=1.0, rng=rng
+        )
+        pop.start()
+        pop.start()  # idempotent
+        sim.run(until=10.0)
+        assert pop.total_requests_sent > 50
+        first_arrivals = sorted(
+            r.t_first_attempt for r in app.completed
+        )[:20]
+        assert first_arrivals[0] != first_arrivals[1]
+
+    def test_invalid_users(self, sim):
+        app, demands = build_app(sim)
+        with pytest.raises(ValueError):
+            UserPopulation(sim, app, lambda rid: None, users=0)
+
+
+class TestOpenLoopProber:
+    def test_probes_collect_samples(self, sim):
+        app, demands = build_app(sim, concurrencies=(10, 8))
+        rng = np.random.default_rng(3)
+        factory = lambda rid: Request(
+            rid=rid, page="probe", demands=dict(demands)
+        )
+        prober = OpenLoopProber(sim, app, factory, rate=5.0, rng=rng)
+        prober.start()
+        prober.start()  # idempotent
+        sim.run(until=10.0)
+        assert len(prober.samples) > 20
+        rts = prober.samples_since(0.0)
+        assert all(rt > 0 for rt in rts)
+
+    def test_samples_since_filters(self, sim):
+        app, demands = build_app(sim, concurrencies=(10, 8))
+        rng = np.random.default_rng(4)
+        factory = lambda rid: Request(
+            rid=rid, page="probe", demands=dict(demands)
+        )
+        prober = OpenLoopProber(sim, app, factory, rate=5.0, rng=rng)
+        prober.start()
+        sim.run(until=10.0)
+        recent = prober.samples_since(9.0)
+        assert len(recent) < len(prober.samples)
+
+    def test_invalid_rate(self, sim):
+        app, _ = build_app(sim)
+        with pytest.raises(ValueError):
+            OpenLoopProber(sim, app, lambda rid: None, rate=0.0)

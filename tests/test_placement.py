@@ -1,0 +1,118 @@
+"""Tests for zones, co-residency probing, and campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudZone, ZoneFullError
+from repro.experiments import run_campaign
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def zone():
+    return CloudZone(
+        Simulator(),
+        n_hosts=4,
+        slots_per_host=3,
+        prefill=0.0,
+        rng=np.random.default_rng(1),
+    )
+
+
+class TestCloudZone:
+    def test_launch_places_somewhere(self, zone):
+        index = zone.launch("vm1")
+        assert 0 <= index < 4
+        assert zone.host_of("vm1") == index
+
+    def test_duplicate_names_rejected(self, zone):
+        zone.launch("vm1")
+        with pytest.raises(ValueError):
+            zone.launch("vm1")
+
+    def test_zone_fills_up(self, zone):
+        for i in range(12):
+            zone.launch(f"vm{i}")
+        with pytest.raises(ZoneFullError):
+            zone.launch("overflow")
+
+    def test_terminate_frees_slot(self, zone):
+        for i in range(12):
+            zone.launch(f"vm{i}")
+        zone.terminate("vm0")
+        zone.launch("replacement")  # no ZoneFullError
+
+    def test_packed_strategy_fills_in_order(self):
+        zone = CloudZone(
+            Simulator(),
+            n_hosts=3,
+            slots_per_host=2,
+            strategy="packed",
+            prefill=0.0,
+            rng=np.random.default_rng(2),
+        )
+        indices = [zone.launch(f"vm{i}") for i in range(4)]
+        assert indices == [0, 0, 1, 1]
+
+    def test_co_resident_check(self, zone):
+        a = zone.launch("a")
+        # Force b onto the same host by filling the others.
+        fillers = 0
+        while True:
+            name = f"fill{fillers}"
+            index = zone.launch(name)
+            fillers += 1
+            if zone.free_slots(a) == 0 or all(
+                zone.free_slots(i) == 0
+                for i in range(4)
+                if i != a
+            ):
+                break
+        assert zone.co_resident("a", "a")
+
+    def test_prefill_occupies_slots(self):
+        zone = CloudZone(
+            Simulator(),
+            n_hosts=10,
+            slots_per_host=4,
+            prefill=0.75,
+            rng=np.random.default_rng(3),
+        )
+        assert len(zone.residents) > 10  # tenants exist
+        # Every host keeps at least one free slot at construction.
+        assert all(zone.free_slots(i) >= 1 for i in range(10))
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CloudZone(sim, n_hosts=0)
+        with pytest.raises(ValueError):
+            CloudZone(sim, strategy="quantum")
+        with pytest.raises(ValueError):
+            CloudZone(sim, prefill=1.0)
+
+
+class TestCampaign:
+    def test_small_zone_campaign_succeeds(self):
+        result = run_campaign(
+            n_hosts=6, strategy="random", max_vms=40, seed=5
+        )
+        assert result.success
+        assert result.co_resident_vm is not None
+        assert result.vms_launched <= 40
+        assert result.cost_usd < 5.30
+        assert "co-located" in result.summary()
+
+    def test_budget_exhaustion_reports_failure(self):
+        # A huge zone with a tiny budget: overwhelmingly likely to fail.
+        result = run_campaign(
+            n_hosts=120, strategy="random", max_vms=4, seed=6
+        )
+        assert not result.success
+        assert result.vms_launched == 4
+        assert "FAILED" in result.summary()
+
+    def test_cost_scales_with_launches(self):
+        cheap = run_campaign(n_hosts=6, max_vms=40, seed=7)
+        pricey = run_campaign(n_hosts=60, max_vms=60, seed=7)
+        assert pricey.vms_launched >= cheap.vms_launched

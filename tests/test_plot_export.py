@@ -1,0 +1,121 @@
+"""Unit tests for ASCII charting and data export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import (
+    ascii_chart,
+    ascii_percentiles,
+    ascii_timeseries,
+    curves_to_json,
+    percentile_curve,
+    requests_to_rows,
+    write_curves_json,
+    write_requests_csv,
+    write_timeseries_csv,
+)
+from repro.monitoring import TimeSeries
+from repro.ntier import Request
+
+
+class TestAsciiChart:
+    def test_renders_grid_with_legend(self):
+        text = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "*=a" in lines[1] and "o=b" in lines[1]
+        assert any("*" in line for line in lines)
+        assert any("o" in line for line in lines)
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="x")
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart({"flat": [(0, 1.0), (1, 1.0), (2, 1.0)]})
+        assert "*" in text
+
+    def test_y_bounds_labelled(self):
+        text = ascii_chart({"a": [(0, 2.0), (1, 8.0)]}, height=6)
+        assert "8" in text and "2" in text
+
+    def test_timeseries_wrapper(self):
+        ts = TimeSeries("util")
+        for i in range(10):
+            ts.append(i * 0.1, i / 10)
+        text = ascii_timeseries({"util": ts}, title="u")
+        assert "time (s)" in text
+
+    def test_percentile_wrapper(self):
+        curves = {
+            "client": percentile_curve(
+                "client", [0.1, 0.2, 5.0], percentiles=(50, 95, 99)
+            )
+        }
+        text = ascii_percentiles(curves, title="p")
+        assert "percentile" in text
+
+
+def make_request(rid, rt, page="p"):
+    r = Request(rid=rid, page=page, demands={"mysql": 0.001})
+    r.t_first_attempt = 0.0
+    r.t_done = rt
+    r.attempts = 1
+    r.record_span("mysql", 0.0, rt / 2)
+    return r
+
+
+class TestExport:
+    def test_requests_to_rows(self):
+        rows = requests_to_rows(
+            [make_request(1, 0.5)], tiers=("mysql", "tomcat")
+        )
+        row = rows[0]
+        assert row["rid"] == 1
+        assert row["response_time"] == 0.5
+        assert row["rt_mysql"] == 0.25
+        assert row["rt_tomcat"] is None
+
+    def test_write_requests_csv(self, tmp_path):
+        path = tmp_path / "requests.csv"
+        count = write_requests_csv(
+            str(path), [make_request(i, 0.1 * i) for i in range(1, 4)],
+            tiers=("mysql",),
+        )
+        assert count == 3
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["page"] == "p"
+        assert float(rows[2]["rt_mysql"]) == pytest.approx(0.15)
+
+    def test_write_timeseries_csv(self, tmp_path):
+        ts = TimeSeries("util")
+        ts.append(0.0, 0.5)
+        ts.append(1.0, 0.7)
+        path = tmp_path / "series.csv"
+        count = write_timeseries_csv(str(path), {"util": ts})
+        assert count == 2
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["time", "series", "value"]
+        assert rows[1] == ["0.0", "util", "0.5"]
+
+    def test_curves_json_roundtrip(self, tmp_path):
+        curves = {
+            "client": percentile_curve(
+                "client", [1.0, 2.0, 3.0], percentiles=(50, 99)
+            )
+        }
+        payload = json.loads(curves_to_json(curves))
+        assert payload["client"]["samples"] == 3
+        assert payload["client"]["percentiles"] == [50.0, 99.0]
+        path = tmp_path / "curves.json"
+        write_curves_json(str(path), curves)
+        assert json.loads(path.read_text()) == payload

@@ -1,0 +1,171 @@
+"""Edge-case tests for the DES kernel's less-travelled paths."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestConditionFailures:
+    def test_any_of_propagates_failure(self, sim):
+        good = sim.timeout(5.0)
+        bad = sim.event()
+
+        def waiter(sim):
+            try:
+                yield sim.any_of([bad, good])
+            except RuntimeError as exc:
+                return str(exc)
+
+        process = sim.process(waiter(sim))
+        sim.call_in(1.0, lambda: bad.fail(RuntimeError("broken")))
+        sim.run()
+        assert process.value == "broken"
+
+    def test_all_of_propagates_failure(self, sim):
+        good = sim.timeout(0.5)
+        bad = sim.event()
+
+        def waiter(sim):
+            try:
+                yield sim.all_of([good, bad])
+            except RuntimeError as exc:
+                return str(exc)
+
+        process = sim.process(waiter(sim))
+        sim.call_in(1.0, lambda: bad.fail(RuntimeError("late fail")))
+        sim.run()
+        assert process.value == "late fail"
+
+    def test_any_of_with_already_processed_event(self, sim):
+        early = sim.timeout(0.0)
+        sim.run(until=0.5)  # early is processed
+        late = sim.timeout(5.0)
+        condition = sim.any_of([early, late])
+        assert condition.triggered
+
+    def test_condition_ignores_late_triggers(self, sim):
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        condition = sim.any_of([a, b])
+        sim.run()
+        # b fired after the condition already succeeded: no error, and
+        # the condition's value is stable.
+        assert a in condition.value
+
+
+class TestRunUntilEvent:
+    def test_run_until_failed_event_raises(self, sim):
+        target = sim.event()
+        sim.call_in(1.0, lambda: target.fail(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=target)
+
+    def test_run_until_never_triggering_event_raises(self, sim):
+        target = sim.event()
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError, match="drained"):
+            sim.run(until=target)
+
+    def test_run_until_already_triggered_event(self, sim):
+        target = sim.event()
+        target.succeed("done")
+        assert sim.run(until=target) == "done"
+
+
+class TestProcessEdgeCases:
+    def test_process_failing_before_first_yield(self, sim):
+        def broken(sim):
+            raise ValueError("instant")
+            yield  # pragma: no cover
+
+        def waiter(sim):
+            try:
+                yield sim.process(broken(sim))
+            except ValueError as exc:
+                return str(exc)
+
+        process = sim.process(waiter(sim))
+        sim.run()
+        assert process.value == "instant"
+
+    def test_process_returning_without_yield(self, sim):
+        def immediate(sim):
+            return "early"
+            yield  # pragma: no cover
+
+        process = sim.process(immediate(sim))
+        sim.run()
+        assert process.value == "early"
+
+    def test_interrupt_cause_accessible(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        process = sim.process(sleeper(sim))
+        sim.call_in(0.1, lambda: process.interrupt({"reason": "test"}))
+        sim.run()
+        assert process.value == {"reason": "test"}
+
+    def test_chained_process_waits(self, sim):
+        """A process waiting on a process waiting on a process."""
+
+        def level(sim, depth):
+            if depth == 0:
+                yield sim.timeout(1.0)
+                return 0
+            value = yield sim.process(level(sim, depth - 1))
+            return value + 1
+
+        process = sim.process(level(sim, 5))
+        sim.run()
+        assert process.value == 5
+        assert sim.now == 1.0
+
+
+class TestStoreEdgeCases:
+    def test_cancelled_getter_skipped(self, sim):
+        store = Store(sim)
+        abandoned = store.get()
+        survivor = store.get()
+        abandoned.succeed("cancelled-elsewhere")
+        store.put("item")
+        assert survivor.value == "item"
+
+    def test_put_wakes_in_fifo_order(self, sim):
+        store = Store(sim)
+        first = store.get()
+        second = store.get()
+        store.put("a")
+        store.put("b")
+        assert first.value == "a"
+        assert second.value == "b"
+
+
+class TestEventRepr:
+    def test_states_render(self, sim):
+        pending = sim.event()
+        assert "pending" in repr(pending)
+        done = sim.event()
+        done.succeed()
+        assert "ok" in repr(done)
+        failed = sim.event()
+        failed.fail(RuntimeError())
+        failed.defuse()
+        assert "failed" in repr(failed)
+        sim.run()

@@ -1,0 +1,210 @@
+"""Unit tests for Resource, Store, and Container primitives."""
+
+import pytest
+
+from repro.sim import (
+    CapacityError,
+    Container,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResourceGrant:
+    def test_immediate_grant_under_capacity(self, sim):
+        pool = Resource(sim, capacity=2)
+        req = pool.request()
+        assert req.triggered
+        assert pool.in_use == 1
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_waiters_queue_fifo(self, sim):
+        pool = Resource(sim, capacity=1)
+        first = pool.request()
+        second = pool.request()
+        third = pool.request()
+        assert first.triggered and not second.triggered
+        pool.release(first)
+        assert second.triggered and not third.triggered
+        pool.release(second)
+        assert third.triggered
+
+    def test_release_unheld_raises(self, sim):
+        pool = Resource(sim, capacity=1)
+        held = pool.request()
+        waiting = pool.request()
+        with pytest.raises(SimulationError):
+            pool.release(waiting)
+        pool.release(held)
+
+    def test_occupancy_counts_users_and_waiters(self, sim):
+        pool = Resource(sim, capacity=1)
+        pool.request()
+        pool.request()
+        assert pool.occupancy == 2
+        assert pool.in_use == 1
+        assert pool.queued == 1
+
+
+class TestResourceBoundedQueue:
+    def test_full_queue_rejects(self, sim):
+        pool = Resource(sim, capacity=1, max_queue=1)
+        pool.request()
+        pool.request()  # fills the one waiting slot
+        with pytest.raises(CapacityError):
+            pool.request()
+        assert pool.total_rejections == 1
+
+    def test_zero_queue_rejects_when_busy(self, sim):
+        pool = Resource(sim, capacity=1, max_queue=0)
+        pool.request()
+        with pytest.raises(CapacityError):
+            pool.request()
+
+    def test_rejection_does_not_change_occupancy(self, sim):
+        pool = Resource(sim, capacity=1, max_queue=0)
+        pool.request()
+        with pytest.raises(CapacityError):
+            pool.request()
+        assert pool.occupancy == 1
+
+    def test_negative_max_queue_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=1, max_queue=-1)
+
+
+class TestResourceCancel:
+    def test_cancel_removes_waiter(self, sim):
+        pool = Resource(sim, capacity=1)
+        pool.request()
+        waiter = pool.request()
+        pool.cancel(waiter)
+        assert pool.queued == 0
+
+    def test_cancel_granted_raises(self, sim):
+        pool = Resource(sim, capacity=1)
+        held = pool.request()
+        with pytest.raises(SimulationError):
+            pool.cancel(held)
+
+    def test_cancelled_waiter_skipped_on_release(self, sim):
+        pool = Resource(sim, capacity=1)
+        held = pool.request()
+        cancelled = pool.request()
+        survivor = pool.request()
+        cancelled.succeed("externally")  # simulate a timed-out waiter
+        pool.release(held)
+        assert survivor.triggered
+        assert pool.in_use == 1
+
+
+class TestResourceInProcesses:
+    def test_hold_and_release_cycle(self, sim):
+        pool = Resource(sim, capacity=1)
+        log = []
+
+        def user(sim, name, hold):
+            req = pool.request()
+            yield req
+            log.append((sim.now, name, "acquired"))
+            yield sim.timeout(hold)
+            pool.release(req)
+
+        sim.process(user(sim, "u1", 2.0))
+        sim.process(user(sim, "u2", 1.0))
+        sim.run()
+        assert log == [(0.0, "u1", "acquired"), (2.0, "u2", "acquired")]
+
+    def test_peak_tracking(self, sim):
+        pool = Resource(sim, capacity=2)
+
+        def user(sim, hold):
+            req = pool.request()
+            yield req
+            yield sim.timeout(hold)
+            pool.release(req)
+
+        for _ in range(4):
+            sim.process(user(sim, 1.0))
+        sim.run()
+        assert pool.peak_in_use == 2
+        assert pool.peak_queued == 2
+        assert pool.total_requests == 4
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert got.triggered and got.value == "item"
+
+    def test_get_waits_for_put(self, sim):
+        store = Store(sim)
+        got = store.get()
+        assert not got.triggered
+        store.put("late")
+        assert got.value == "late"
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered and not second.triggered
+        store.get()
+        assert second.triggered
+
+    def test_len_reflects_items(self, sim):
+        store = Store(sim)
+        store.put("x")
+        assert len(store) == 1
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestContainer:
+    def test_get_waits_for_level(self, sim):
+        tank = Container(sim, capacity=10, init=0)
+        got = tank.get(5)
+        assert not got.triggered
+        tank.put(5)
+        assert got.triggered
+        assert tank.level == 0
+
+    def test_put_waits_for_room(self, sim):
+        tank = Container(sim, capacity=10, init=10)
+        put = tank.put(1)
+        assert not put.triggered
+        tank.get(5)
+        assert put.triggered
+        assert tank.level == 6
+
+    def test_init_bounds_checked(self, sim):
+        with pytest.raises(SimulationError):
+            Container(sim, capacity=5, init=6)
+
+    def test_nonpositive_amounts_rejected(self, sim):
+        tank = Container(sim, capacity=5, init=1)
+        with pytest.raises(SimulationError):
+            tank.get(0)
+        with pytest.raises(SimulationError):
+            tank.put(-1)
