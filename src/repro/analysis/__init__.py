@@ -1,10 +1,20 @@
-"""Analysis: tail statistics, plain-text reporting, charts, export."""
+"""Analysis: tail statistics, reporting, attribution, charts, export."""
 
+from .attribution import (
+    AttributionReport,
+    RequestAttribution,
+    attribute_requests,
+    attribute_run,
+    component_breakdown,
+)
 from .export import (
+    chrome_trace_events,
     curves_to_json,
     requests_to_rows,
+    write_chrome_trace,
     write_curves_json,
     write_requests_csv,
+    write_spans_jsonl,
     write_timeseries_csv,
 )
 from .plot import ascii_chart, ascii_percentiles, ascii_timeseries
@@ -21,14 +31,20 @@ from .stats import (
 )
 
 __all__ = [
+    "AttributionReport",
     "PercentileCurve",
     "Replication",
+    "RequestAttribution",
     "TailSummary",
     "amplification_factors",
     "ascii_chart",
     "ascii_percentiles",
     "ascii_timeseries",
+    "attribute_requests",
+    "attribute_run",
+    "chrome_trace_events",
     "client_percentile_curve",
+    "component_breakdown",
     "curves_to_json",
     "format_percentile_curves",
     "format_replications",
@@ -39,7 +55,9 @@ __all__ = [
     "requests_to_rows",
     "tail_summary",
     "tier_percentile_curves",
+    "write_chrome_trace",
     "write_curves_json",
     "write_requests_csv",
+    "write_spans_jsonl",
     "write_timeseries_csv",
 ]

@@ -2,14 +2,19 @@
 
 ``python -m repro list`` shows the available experiments;
 ``python -m repro fig2`` (etc.) runs one and prints its rows/series;
-``python -m repro all`` runs the full evaluation.
+``python -m repro all`` runs the full evaluation;
+``python -m repro trace fig9`` runs a scenario with the span tracer on,
+dumps JSONL spans + a Chrome trace_event file, and prints the
+root-cause attribution report (the programmatic Fig 9).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from dataclasses import replace
 from typing import Callable, Dict
 
 from .experiments import (
@@ -141,6 +146,90 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+#: Scenario names accepted by ``python -m repro trace <scenario>``.
+def _trace_scenarios() -> Dict[str, object]:
+    from .experiments.configs import EC2_CLOUD, PRIVATE_CLOUD
+
+    return {
+        "fig9": PRIVATE_CLOUD,
+        "fig2": PRIVATE_CLOUD,
+        "private-cloud": PRIVATE_CLOUD,
+        "ec2": EC2_CLOUD,
+    }
+
+
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: traced run + exports + attribution."""
+    from .analysis.attribution import attribute_run
+    from .analysis.export import write_chrome_trace, write_spans_jsonl
+    from .experiments.runner import run_rubbos
+
+    scenarios = _trace_scenarios()
+    if args.scenario is None or args.scenario not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        print(
+            f"trace needs a scenario name (one of: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sample_every < 1:
+        print(
+            f"--sample-every must be >= 1, got {args.sample_every}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = scenarios[args.scenario]
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.users is not None:
+        overrides["users"] = args.users
+    if overrides:
+        scenario = replace(scenario, **overrides)
+
+    print(
+        f"tracing scenario {args.scenario!r} "
+        f"({scenario.users} users, {scenario.duration:.0f}s)..."
+    )
+    started = time.time()
+    run = run_rubbos(
+        scenario, tracing=True, trace_sample_every=args.sample_every
+    )
+    finished = run.app.completed + run.app.failed
+
+    os.makedirs(args.out, exist_ok=True)
+    spans_path = os.path.join(args.out, f"{args.scenario}-spans.jsonl")
+    chrome_path = os.path.join(args.out, f"{args.scenario}-trace.json")
+    n_traces = write_spans_jsonl(spans_path, finished)
+    n_events = write_chrome_trace(chrome_path, finished)
+    print(f"wrote {n_traces} span trees to {spans_path}")
+    print(f"wrote {n_events} trace_event slices to {chrome_path}")
+
+    report = attribute_run(run, threshold=args.threshold)
+    print()
+    print(report.render())
+
+    assert run.obs is not None
+    kernel = run.obs.kernel.summary()
+    print(
+        f"\nkernel: {kernel['events_dispatched']} events, "
+        f"{kernel['processes_started']} processes, "
+        f"peak heap {kernel['peak_heap_depth']}, "
+        f"{kernel.get('wall_per_sim_second', 0.0) * 1e3:.1f} ms wall "
+        f"per sim-second"
+    )
+    snapshot = run.obs.metrics.snapshot()
+    rt = snapshot.get("response_time")
+    if rt and rt.get("count"):
+        print(
+            f"response time: count={rt['count']} "
+            f"mean={rt['mean']:.3f}s p95={rt['p95']:.3f}s "
+            f"p99={rt['p99']:.3f}s"
+        )
+    print(f"[trace {args.scenario} done in {time.time() - started:.1f}s]")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -153,9 +242,47 @@ def main(argv=None) -> int:
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', or 'list' (default)",
+        help="experiment name, 'all', 'list' (default), or 'trace'",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name for 'trace' (fig9, fig2, private-cloud, ec2)",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="output directory for 'trace' span/trace files",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the scenario duration in seconds ('trace' only)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="override the closed-loop user count ('trace' only)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.0,
+        help="slow-request threshold in seconds for attribution",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="trace every n-th request (1 = all)",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        return _run_trace(args)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -163,6 +290,10 @@ def main(argv=None) -> int:
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"  {name.ljust(width)}  {description}")
         print(f"\n  {'all'.ljust(width)}  run everything above")
+        print(
+            f"  {'trace <scenario>'.ljust(width)}  traced run + span "
+            "dumps + root-cause attribution"
+        )
         return 0
 
     if args.experiment == "all":

@@ -23,6 +23,7 @@ from ..core.programs import (
 )
 from ..monitoring.oprofile import LLCMissProfiler
 from ..monitoring.sampler import PeriodicSampler, UtilizationMonitor
+from ..obs import Observability
 from ..ntier.request import Request
 from ..ntier.client import UserPopulation
 from ..sim.core import Simulator
@@ -69,6 +70,8 @@ class RubbosRun:
     util_monitors: Dict[str, UtilizationMonitor]
     queue_sampler: PeriodicSampler
     llc_profiler: Optional[LLCMissProfiler]
+    #: Present only when the run was started with ``tracing=True``.
+    obs: Optional[Observability] = None
 
     @property
     def app(self):
@@ -91,8 +94,19 @@ def run_rubbos(
     scenario: RubbosScenario,
     collect_llc: bool = False,
     feedback_goals=None,
+    tracing: bool = False,
+    trace_sample_every: int = 1,
 ) -> RubbosRun:
-    """Build and execute one closed-loop RUBBoS scenario."""
+    """Build and execute one closed-loop RUBBoS scenario.
+
+    ``tracing=True`` attaches a full observability stack
+    (:class:`repro.obs.Observability`): per-request span trees, the
+    metrics registry, and kernel self-profiling.  Tracing is purely
+    observational — it schedules no events — so a traced run produces
+    identical measurements to an untraced one at the same seed.
+    ``trace_sample_every`` traces every n-th request to bound memory on
+    very long runs.
+    """
     streams = RandomStreams(scenario.seed)
     sim = Simulator()
     deployment = CloudDeployment(
@@ -105,6 +119,10 @@ def run_rubbos(
             host_spec=scenario.host_spec,
         ),
     )
+    obs = None
+    if tracing:
+        obs = Observability(sample_every=trace_sample_every)
+        obs.attach(sim, deployment.app)
     workload = RubbosWorkload(rng=streams.get("workload"))
     population = UserPopulation(
         sim,
@@ -183,6 +201,7 @@ def run_rubbos(
         util_monitors=util_monitors,
         queue_sampler=queue_sampler,
         llc_profiler=llc_profiler,
+        obs=obs,
     )
 
 

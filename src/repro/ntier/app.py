@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from ..obs.tracer import NULL_TRACER
 from ..sim.core import Simulator
 from .request import Request
 from .tier import Tier
@@ -41,6 +42,11 @@ class NTierApplication:
         self.completed: List[Request] = []
         #: Requests abandoned after exhausting TCP retries.
         self.failed: List[Request] = []
+        #: Request tracer consulted by ``fetch`` for every entry point
+        #: (closed-loop users, open-loop generators, probers).  The
+        #: null singleton is the zero-overhead default; swap in a
+        #: recording :class:`repro.obs.Tracer` to capture span trees.
+        self.tracer = NULL_TRACER
 
     @property
     def front(self) -> Tier:

@@ -43,28 +43,67 @@ def fetch(
     A generator meant for ``yield from`` inside a client process.  On
     return, the request is recorded in the application (completed or
     failed) and carries its timing data.
+
+    When the application carries a recording tracer (``app.tracer``,
+    see :mod:`repro.obs`), the whole exchange is captured as a span
+    tree: a ``request`` root, one ``attempt`` span per transmission,
+    and an ``rto_wait`` span for every retransmission backoff.
     """
     request.t_first_attempt = sim.now
+    tracer = app.tracer
+    trace = tracer.begin_trace(request) if tracer.enabled else None
+    if trace is not None:
+        trace.begin("request", request.page, sim.now)
     rtos = tcp.timeouts()
     while True:
         request.attempts += 1
+        request.attempt_times.append(sim.now)
+        if trace is not None:
+            trace.begin("attempt", f"attempt-{request.attempts}", sim.now)
         try:
             if tandem:
                 yield from app.serve_tandem(request)
             else:
                 yield from app.serve(request)
             request.t_done = sim.now
+            if trace is not None:
+                trace.end(sim.now)
+                trace.end(
+                    sim.now, status="ok", attempts=request.attempts
+                )
+                tracer.finish(request)
             app.record(request)
             return request
-        except TierOverflowError:
+        except TierOverflowError as overflow:
+            request.drop_tiers.append(overflow.tier)
+            if trace is not None:
+                trace.end(
+                    sim.now, dropped=True, drop_tier=overflow.tier
+                )
             try:
                 rto = next(rtos)
             except StopIteration:
                 request.failed = True
                 request.t_done = sim.now
+                if trace is not None:
+                    trace.end(
+                        sim.now,
+                        status="failed",
+                        attempts=request.attempts,
+                    )
+                    tracer.finish(request)
                 app.record(request)
                 return request
+            backoff_start = sim.now
             yield sim.timeout(rto)
+            if trace is not None:
+                trace.add(
+                    "rto_wait",
+                    f"rto-{request.attempts}",
+                    backoff_start,
+                    sim.now,
+                    rto=rto,
+                )
 
 
 class ClosedLoopClient:

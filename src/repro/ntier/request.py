@@ -9,7 +9,10 @@ including TCP retransmissions (Fig 9d), and drop/retry accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.span import Trace
 
 __all__ = ["Request"]
 
@@ -34,6 +37,15 @@ class Request:
     #: Per-tier (enter, leave) spans; one tuple per visit.
     tier_spans: Dict[str, List[Tuple[float, float]]] = field(
         default_factory=dict
+    )
+    #: Send time of every transmission attempt (Fig 9d offline replay).
+    attempt_times: List[float] = field(default_factory=list)
+    #: Tier that dropped each failed attempt, in drop order.
+    drop_tiers: List[str] = field(default_factory=list)
+    #: Span tree, present only when a recording tracer adopted this
+    #: request (``repro.obs``); ``None`` is the disabled fast path.
+    trace: Optional["Trace"] = field(
+        default=None, repr=False, compare=False
     )
 
     def demand(self, tier: str) -> float:
@@ -69,3 +81,8 @@ class Request:
     @property
     def was_retransmitted(self) -> bool:
         return self.attempts > 1
+
+    @property
+    def drops(self) -> int:
+        """Number of dropped transmission attempts."""
+        return len(self.drop_tiers)

@@ -48,6 +48,23 @@ class RetransmissionPolicy:
             yield min(rto, self.max_rto)
             rto *= self.backoff
 
+    def rto_for_drop(self, drop_index: int) -> float:
+        """The backoff slept after the ``drop_index``-th drop (0-based).
+
+        Lets offline analysis reconstruct per-attempt send times from a
+        drop count alone (e.g. attributing how much of a tail request's
+        latency was pure retransmission wait).
+        """
+        if drop_index < 0:
+            raise ValueError(f"drop_index must be >= 0: {drop_index}")
+        if drop_index >= self.max_retries:
+            raise ValueError(
+                f"drop {drop_index} exceeds max_retries={self.max_retries}"
+            )
+        return min(
+            self.min_rto * self.backoff ** drop_index, self.max_rto
+        )
+
     def total_delay_after(self, drops: int) -> float:
         """Total retransmission delay accumulated after ``drops`` drops."""
         if drops < 0:

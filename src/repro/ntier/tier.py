@@ -103,20 +103,49 @@ class Tier:
             cap = self.pool.capacity
         return min(self.occupancy, cap)
 
-    def _execute(self, work: float) -> Generator:
+    def _execute(self, work: float, trace=None) -> Generator:
         """Run ``work`` on this tier's CPU, cancelling it if aborted.
 
         Without the cancel, a request killed mid-service (e.g. by an
         interrupt injected into its process) would leave a ghost job
         consuming CPU capacity forever.
+
+        When the request is traced, the slice is recorded as a
+        ``service`` span annotated with the nominal work and the
+        *effective speed* actually delivered (work / wall duration) —
+        under a memory-contention burst this drops below the CPU's
+        nominal speed even though the vCPU looks busy, which is exactly
+        the paper's cross-resource signature.
         """
-        job = self.vm.cpu.execute(work)
+        cpu = self.vm.cpu
+        job = cpu.execute(work)
+        if trace is None:
+            try:
+                yield job
+            except BaseException:
+                if not job.triggered:
+                    cpu.cancel(job)
+                raise
+            return
+        start = self.sim.now
+        speed = cpu.speed
         try:
             yield job
         except BaseException:
             if not job.triggered:
-                self.vm.cpu.cancel(job)
+                cpu.cancel(job)
+            trace.add(
+                "service", self.name, start, self.sim.now,
+                work=work, speed_at_start=speed, aborted=True,
+            )
             raise
+        end = self.sim.now
+        effective = work / (end - start) if end > start else speed
+        trace.add(
+            "service", self.name, start, end,
+            work=work, speed_at_start=speed,
+            effective_speed=effective,
+        )
 
     def handle(self, request: Request) -> Generator:
         """Process ``request`` in this tier (and, recursively, below).
@@ -127,38 +156,64 @@ class Tier:
         """
         enter = self.sim.now
         self.arrivals += 1
+        trace = request.trace
+        if trace is not None:
+            trace.begin("tier", self.name, enter)
         try:
-            token = self.pool.request()
-        except CapacityError:
-            self.drops += 1
-            raise TierOverflowError(self.name) from None
-        try:
-            yield token
-            demand = request.demand(self.name)
-            goes_down = (
-                self.downstream is not None
-                and request.visits(self.downstream.name)
-            )
-            pre = demand * self.work_split if goes_down else demand
-            post = demand - pre
-            if pre > 0:
-                yield from self._execute(pre)
-            if goes_down:
-                if self.net_delay > 0:
-                    yield self.sim.timeout(self.net_delay)
-                yield from self.downstream.handle(request)
-                if self.net_delay > 0:
-                    yield self.sim.timeout(self.net_delay)
-            if post > 0:
-                yield from self._execute(post)
-        finally:
-            if token in self.pool.users:
-                self.pool.release(token)
-            else:
-                # Aborted while still waiting for a thread.
-                self.pool.cancel(token)
+            try:
+                token = self.pool.request()
+            except CapacityError:
+                self.drops += 1
+                raise TierOverflowError(self.name) from None
+            try:
+                yield token
+                if trace is not None:
+                    trace.add("queue_wait", self.name, enter, self.sim.now)
+                demand = request.demand(self.name)
+                goes_down = (
+                    self.downstream is not None
+                    and request.visits(self.downstream.name)
+                )
+                pre = demand * self.work_split if goes_down else demand
+                post = demand - pre
+                if pre > 0:
+                    yield from self._execute(pre, trace)
+                if goes_down:
+                    if self.net_delay > 0:
+                        hop = self.sim.now
+                        yield self.sim.timeout(self.net_delay)
+                        if trace is not None:
+                            trace.add(
+                                "net",
+                                f"{self.name}->{self.downstream.name}",
+                                hop, self.sim.now,
+                            )
+                    yield from self.downstream.handle(request)
+                    if self.net_delay > 0:
+                        hop = self.sim.now
+                        yield self.sim.timeout(self.net_delay)
+                        if trace is not None:
+                            trace.add(
+                                "net",
+                                f"{self.downstream.name}->{self.name}",
+                                hop, self.sim.now,
+                            )
+                if post > 0:
+                    yield from self._execute(post, trace)
+            finally:
+                if token in self.pool.users:
+                    self.pool.release(token)
+                else:
+                    # Aborted while still waiting for a thread.
+                    self.pool.cancel(token)
+        except BaseException as exc:
+            if trace is not None:
+                trace.end(self.sim.now, error=type(exc).__name__)
+            raise
         self.completions += 1
         request.record_span(self.name, enter, self.sim.now)
+        if trace is not None:
+            trace.end(self.sim.now)
 
     def serve_local(self, request: Request) -> Generator:
         """Serve only this tier's demand (tandem-queue mode).
@@ -166,19 +221,32 @@ class Tier:
         Used by :meth:`NTierApplication.serve_tandem`, where tiers are
         independent stations with no cross-tier thread coupling.
         """
+        enter = self.sim.now
         self.arrivals += 1
-        token = self.pool.request()
+        trace = request.trace
+        if trace is not None:
+            trace.begin("tier", self.name, enter)
         try:
-            yield token
-            demand = request.demand(self.name)
-            if demand > 0:
-                yield from self._execute(demand)
-        finally:
-            if token in self.pool.users:
-                self.pool.release(token)
-            else:
-                self.pool.cancel(token)
+            token = self.pool.request()
+            try:
+                yield token
+                if trace is not None:
+                    trace.add("queue_wait", self.name, enter, self.sim.now)
+                demand = request.demand(self.name)
+                if demand > 0:
+                    yield from self._execute(demand, trace)
+            finally:
+                if token in self.pool.users:
+                    self.pool.release(token)
+                else:
+                    self.pool.cancel(token)
+        except BaseException as exc:
+            if trace is not None:
+                trace.end(self.sim.now, error=type(exc).__name__)
+            raise
         self.completions += 1
+        if trace is not None:
+            trace.end(self.sim.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

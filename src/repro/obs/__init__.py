@@ -1,0 +1,81 @@
+"""Observability: request tracing, metrics, and kernel self-profiling.
+
+The subsystem has three legs (see DESIGN.md "Observability"):
+
+* **Span tracing** (:mod:`repro.obs.span`, :mod:`repro.obs.tracer`) —
+  each client request optionally carries a typed span tree recording
+  where its latency accrued: TCP retransmission waits, per-tier queue
+  waits, processor-sharing service slices (with effective-speed
+  annotations), and inter-tier network hops.
+* **Metrics + event bus** (:mod:`repro.obs.metrics`,
+  :mod:`repro.obs.bus`) — counters/gauges/streaming percentile
+  sketches plus a pub/sub fabric for request lifecycle events.
+* **Kernel self-profiling** (:class:`~repro.obs.bus.KernelProfiler`)
+  — events dispatched, heap depth, wall-time per sim-second via the
+  simulator's hook slot.
+
+:class:`Observability` bundles all three and wires them into a run;
+``repro.experiments.runner.run_rubbos(..., tracing=True)`` uses it, and
+``python -m repro trace <scenario>`` exposes it from the shell.
+Everything is off by default and adds only null-check overhead when
+disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .bus import EventBus, KernelProfiler
+from .metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from .span import LEAF_KINDS, SPAN_KINDS, Span, Trace
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "KernelProfiler",
+    "LEAF_KINDS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "SPAN_KINDS",
+    "Span",
+    "StreamingHistogram",
+    "Trace",
+    "Tracer",
+]
+
+
+class Observability:
+    """One tracer + metrics registry + kernel profiler, wired together."""
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        kernel_sample_every: int = 1024,
+    ):
+        self.bus = EventBus()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            sample_every=sample_every, metrics=self.metrics, bus=self.bus
+        )
+        self.kernel = KernelProfiler(
+            sample_every=kernel_sample_every, metrics=self.metrics
+        )
+
+    def attach(self, sim, app=None) -> "Observability":
+        """Hook the kernel profiler into ``sim`` and adopt ``app``."""
+        sim.attach_hooks(self.kernel)
+        if app is not None:
+            app.tracer = self.tracer
+        return self
+
+    def report(self) -> dict:
+        """Kernel summary plus the full metrics snapshot."""
+        return {
+            "kernel": self.kernel.summary(),
+            "metrics": self.metrics.snapshot(),
+            "traces": len(self.tracer.traces),
+        }

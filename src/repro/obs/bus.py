@@ -1,0 +1,161 @@
+"""Kernel event bus and DES self-profiling.
+
+:class:`EventBus` is an in-process publish/subscribe fabric: any
+component can ``publish(topic, payload)`` and any number of listeners
+receive it synchronously.  The tracer publishes request lifecycle
+topics (``request.completed`` / ``request.failed``); future consumers
+(live defense controllers, streaming exporters) subscribe without the
+emitting code knowing about them.
+
+:class:`KernelProfiler` plugs into the :class:`~repro.sim.core.Simulator`
+hook slot (see ``Simulator.attach_hooks``) and measures the simulator
+itself: events dispatched, process spawns, heap depth watermarks, and
+wall-clock time per simulated second — the numbers that tell us whether
+the kernel, not the model, is the bottleneck as scenarios scale.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..monitoring.metrics import TimeSeries
+from .metrics import MetricsRegistry
+
+__all__ = ["EventBus", "KernelProfiler"]
+
+
+class EventBus:
+    """Synchronous topic-based publish/subscribe."""
+
+    def __init__(self):
+        self._subscribers: Dict[str, List[Callable[[Any], None]]] = {}
+        self.published: Dict[str, int] = {}
+
+    def subscribe(
+        self, topic: str, fn: Callable[[Any], None]
+    ) -> Callable[[], None]:
+        """Register ``fn`` for ``topic``; returns an unsubscribe callable."""
+        self._subscribers.setdefault(topic, []).append(fn)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers[topic].remove(fn)
+            except (KeyError, ValueError):
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Deliver ``payload`` to every subscriber; returns the count."""
+        self.published[topic] = self.published.get(topic, 0) + 1
+        listeners = self._subscribers.get(topic)
+        if not listeners:
+            return 0
+        for fn in list(listeners):
+            fn(payload)
+        return len(listeners)
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._subscribers.get(topic, ()))
+
+
+class KernelProfiler:
+    """Simulator self-profiling via the kernel hook slot.
+
+    Implements the two-callback hook protocol the simulator expects:
+    ``on_event(event, now, heap_len)`` after each event dispatch and
+    ``on_process(process)`` at each process spawn.  Per-event cost is a
+    few attribute updates; the wall-clock sample only fires every
+    ``sample_every`` events.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every}")
+        self.sample_every = int(sample_every)
+        self.metrics = metrics
+        self.events_dispatched = 0
+        self.processes_started = 0
+        self.peak_heap_depth = 0
+        self._heap_depth_sum = 0
+        #: (sim time, cumulative wall seconds) checkpoints.
+        self.checkpoints: List[tuple] = []
+        self._wall_start: Optional[float] = None
+
+    # -- simulator hook protocol ----------------------------------------
+
+    def on_attach(self, sim) -> None:
+        self._wall_start = _time.perf_counter()
+        self.checkpoints.append((sim.now, 0.0))
+
+    def on_event(self, event, now: float, heap_len: int) -> None:
+        self.events_dispatched += 1
+        self._heap_depth_sum += heap_len
+        if heap_len > self.peak_heap_depth:
+            self.peak_heap_depth = heap_len
+        if self.events_dispatched % self.sample_every == 0:
+            wall = _time.perf_counter() - self._wall_start
+            self.checkpoints.append((now, wall))
+
+    def on_process(self, process) -> None:
+        self.processes_started += 1
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def mean_heap_depth(self) -> float:
+        if self.events_dispatched == 0:
+            return 0.0
+        return self._heap_depth_sum / self.events_dispatched
+
+    def wall_time_per_sim_second(self) -> TimeSeries:
+        """Wall seconds burned per simulated second, over sim time.
+
+        Zero-width sim intervals (many events at one instant) are
+        folded into the next advancing interval.
+        """
+        out = TimeSeries("wall-per-sim-second")
+        pending_wall = 0.0
+        for (t0, w0), (t1, w1) in zip(
+            self.checkpoints, self.checkpoints[1:]
+        ):
+            pending_wall += w1 - w0
+            if t1 > t0:
+                out.append(t1, pending_wall / (t1 - t0))
+                pending_wall = 0.0
+        return out
+
+    def summary(self) -> dict:
+        """Kernel health numbers, also mirrored into the registry."""
+        wall = 0.0
+        if self._wall_start is not None:
+            wall = _time.perf_counter() - self._wall_start
+        out = {
+            "events_dispatched": self.events_dispatched,
+            "processes_started": self.processes_started,
+            "peak_heap_depth": self.peak_heap_depth,
+            "mean_heap_depth": self.mean_heap_depth,
+            "wall_seconds": wall,
+        }
+        if self.checkpoints:
+            sim_elapsed = self.checkpoints[-1][0] - self.checkpoints[0][0]
+            if sim_elapsed > 0:
+                out["wall_per_sim_second"] = (
+                    self.checkpoints[-1][1] / sim_elapsed
+                )
+        if self.metrics is not None:
+            self.metrics.counter("kernel.events_dispatched").value = (
+                self.events_dispatched
+            )
+            self.metrics.counter("kernel.processes_started").value = (
+                self.processes_started
+            )
+            self.metrics.gauge("kernel.peak_heap_depth").set(
+                self.peak_heap_depth
+            )
+        return out

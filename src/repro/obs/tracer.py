@@ -1,0 +1,102 @@
+"""Request tracers: the recording tracer and its null fast path.
+
+Instrumentation sites never talk to the tracer on the hot path — they
+check ``request.trace`` (a plain attribute, ``None`` unless a recording
+tracer adopted the request at send time) and skip all span work when it
+is ``None``.  That keeps the disabled-tracing overhead to one attribute
+load per site and, because tracing schedules no simulation events,
+guarantees byte-identical results with tracing on or off.
+
+:data:`NULL_TRACER` is the module-wide disabled singleton;
+:class:`Tracer` records every (or every ``sample_every``-th) request
+into :class:`~repro.obs.span.Trace` trees and folds completion metrics
+into a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .bus import EventBus
+from .metrics import MetricsRegistry
+from .span import Trace
+
+__all__ = ["NullTracer", "Tracer", "NULL_TRACER"]
+
+
+class NullTracer:
+    """The disabled tracer: adopts nothing, records nothing."""
+
+    enabled = False
+
+    def begin_trace(self, request) -> None:
+        return None
+
+    def finish(self, request) -> None:
+        return None
+
+
+class Tracer:
+    """Records a span tree per adopted request.
+
+    ``sample_every`` keeps memory bounded on long runs: 1 traces every
+    request, ``n`` traces every n-th begun request (the untraced ones
+    run the null fast path).  ``metrics`` and ``bus`` are optional
+    sinks for completion statistics and lifecycle events.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every}")
+        self.sample_every = int(sample_every)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = bus
+        self.traces: List[Trace] = []
+        self._seen = 0
+
+    def begin_trace(self, request) -> Optional[Trace]:
+        """Adopt ``request`` for tracing (or skip it when sampling)."""
+        self._seen += 1
+        if (self._seen - 1) % self.sample_every != 0:
+            return None
+        trace = Trace(request.rid)
+        request.trace = trace
+        self.traces.append(trace)
+        return trace
+
+    def finish(self, request) -> None:
+        """Fold a finished traced request into metrics and the bus."""
+        metrics = self.metrics
+        if request.failed:
+            metrics.counter("requests.failed").inc()
+            topic = "request.failed"
+        else:
+            metrics.counter("requests.completed").inc()
+            topic = "request.completed"
+            rt = request.response_time
+            if rt is not None:
+                metrics.histogram("response_time").observe(rt)
+        if request.attempts > 1:
+            metrics.counter("requests.retransmitted").inc()
+            metrics.counter("tcp.retransmissions").inc(
+                request.attempts - 1
+            )
+        if self.bus is not None:
+            self.bus.publish(topic, request)
+
+    # -- views ------------------------------------------------------------
+
+    def finished_traces(self) -> List[Trace]:
+        """Traces whose span stack closed cleanly."""
+        return [t for t in self.traces if t.finished]
+
+
+#: Shared disabled-tracer singleton (the default everywhere).
+NULL_TRACER = NullTracer()

@@ -338,13 +338,20 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The discrete-event simulation core: clock plus event heap."""
+    """The discrete-event simulation core: clock plus event heap.
+
+    A single optional *hooks* object (see :meth:`attach_hooks`) lets an
+    observer — e.g. :class:`repro.obs.bus.KernelProfiler` — watch every
+    event dispatch and process spawn.  With no hooks attached the cost
+    is one ``None`` check per event.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._heap: List[tuple] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._hooks: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -368,7 +375,36 @@ class Simulator:
 
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` driving ``generator``."""
-        return Process(self, generator)
+        proc = Process(self, generator)
+        if self._hooks is not None:
+            self._hooks.on_process(proc)
+        return proc
+
+    # -- observability hooks ---------------------------------------------
+
+    @property
+    def hooks(self) -> Optional[Any]:
+        """The attached kernel hooks object, if any."""
+        return self._hooks
+
+    def attach_hooks(self, hooks: Any) -> None:
+        """Attach a kernel observer.
+
+        ``hooks`` must provide ``on_event(event, now, heap_len)`` and
+        ``on_process(process)``; an optional ``on_attach(sim)`` runs
+        immediately.  Hooks observe only — they must not mutate the
+        schedule — so attaching them never changes simulation results.
+        """
+        if self._hooks is not None:
+            raise SimulationError("hooks are already attached")
+        self._hooks = hooks
+        on_attach = getattr(hooks, "on_attach", None)
+        if on_attach is not None:
+            on_attach(self)
+
+    def detach_hooks(self) -> None:
+        """Remove the attached kernel observer (no-op if none)."""
+        self._hooks = None
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Composite event triggering when any input event triggers."""
@@ -411,6 +447,8 @@ class Simulator:
             raise SimulationError("step() on an empty schedule")
         time, _priority, _seq, event = heapq.heappop(self._heap)
         self._now = time
+        if self._hooks is not None:
+            self._hooks.on_event(event, time, len(self._heap))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -1,0 +1,210 @@
+"""Span tracer tests: tree well-formedness and non-perturbation.
+
+The tentpole invariants (property-based, per ISSUE 1):
+
+* every completed request's span tree is well-formed — spans nest,
+  child intervals lie within their parents, siblings are contiguous;
+* leaf span durations sum to the client-perceived response time;
+* the disabled-tracer path leaves simulation results identical for a
+  fixed seed (tracing is observation, never perturbation).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudDeployment, DeploymentConfig, TierConfig
+from repro.obs import NULL_TRACER, Observability, Trace, Tracer
+from repro.sim import RandomStreams, Simulator
+from repro.workload import OpenLoopGenerator, exponential_request_factory
+
+#: Slack for float comparisons on span arithmetic.
+EPS = 1e-6
+
+
+def three_tier_app(sim, backlog=4):
+    """A small RPC chain whose front tier drops (so RTOs appear)."""
+    deployment = CloudDeployment(
+        sim,
+        DeploymentConfig(
+            tiers=(
+                TierConfig(
+                    "web", vcpus=1, concurrency=6, max_backlog=backlog
+                ),
+                TierConfig("appsrv", vcpus=1, concurrency=4),
+                TierConfig("db", vcpus=1, concurrency=2),
+            )
+        ),
+    )
+    return deployment.app
+
+
+def run_traced(seed, rate, duration=8.0, tandem=False, tracer=None):
+    sim = Simulator()
+    # Tandem mode has no drop/retransmission path, so it is only ever
+    # used with unbounded tiers (as in the Fig 6/7 model runner).
+    app = three_tier_app(sim, backlog=None if tandem else 4)
+    if tracer is not None:
+        app.tracer = tracer
+    streams = RandomStreams(seed)
+    factory = exponential_request_factory(
+        {"web": 0.002, "appsrv": 0.004, "db": 0.008},
+        streams.get("demands"),
+    )
+    OpenLoopGenerator(
+        sim,
+        app,
+        factory,
+        rate=rate,
+        rng=streams.get("arrivals"),
+        tandem=tandem,
+    ).start()
+    sim.run(until=duration)
+    return app
+
+
+def assert_well_formed(span):
+    """Recursively check nesting, containment, and sibling order."""
+    assert span.end is not None, f"unclosed span {span!r}"
+    assert span.end >= span.start - EPS
+    previous_end = span.start
+    for child in span.children:
+        assert child.start >= span.start - EPS
+        assert child.end <= span.end + EPS
+        # Siblings are ordered and non-overlapping.
+        assert child.start >= previous_end - EPS
+        previous_end = child.end
+        assert_well_formed(child)
+
+
+class TestSpanTreeProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=20.0, max_value=400.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_span_trees_well_formed(self, seed, rate):
+        tracer = Tracer()
+        app = run_traced(seed, rate, tracer=tracer)
+        assert app.completed, "scenario produced no completed requests"
+        for request in app.completed:
+            trace = request.trace
+            assert trace is not None and trace.finished
+            root = trace.root
+            assert root.kind == "request"
+            assert root.start == pytest.approx(request.t_first_attempt)
+            assert root.end == pytest.approx(request.t_done)
+            assert_well_formed(root)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=20.0, max_value=400.0),
+        tandem=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_leaf_durations_sum_to_response_time(
+        self, seed, rate, tandem
+    ):
+        tracer = Tracer()
+        app = run_traced(seed, rate, tandem=tandem, tracer=tracer)
+        assert app.completed
+        for request in app.completed:
+            components = request.trace.leaf_durations()
+            total = sum(components.values())
+            assert total == pytest.approx(
+                request.response_time, abs=1e-6
+            ), f"rid {request.rid}: {components}"
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_disabled_tracer_is_identical(self, seed):
+        """Same seed, tracing on vs off: identical measurements."""
+        plain = run_traced(seed, rate=150.0)
+        traced = run_traced(seed, rate=150.0, tracer=Tracer())
+        assert len(plain.completed) == len(traced.completed)
+        assert len(plain.failed) == len(traced.failed)
+        for a, b in zip(plain.completed, traced.completed):
+            assert a.t_first_attempt == b.t_first_attempt
+            assert a.t_done == b.t_done
+            assert a.attempts == b.attempts
+            assert a.tier_spans == b.tier_spans
+        assert all(r.trace is None for r in plain.completed)
+
+
+class TestTracerBehaviour:
+    def test_null_tracer_records_nothing(self):
+        app = run_traced(3, rate=100.0, duration=2.0)
+        assert app.tracer is NULL_TRACER
+        assert all(r.trace is None for r in app.completed)
+
+    def test_dropped_requests_have_drop_detail(self):
+        tracer = Tracer()
+        app = run_traced(5, rate=380.0, tracer=tracer)
+        retried = [r for r in app.completed if r.attempts > 1]
+        assert retried, "expected front-tier drops at this rate"
+        for request in retried:
+            assert len(request.drop_tiers) == request.attempts - 1
+            assert set(request.drop_tiers) == {"web"}
+            assert len(request.attempt_times) == request.attempts
+            components = request.trace.leaf_durations()
+            # Every retransmission shows up as rto_wait >= 1 s each.
+            assert (
+                components["rto_wait"]
+                >= 1.0 * (request.attempts - 1) - EPS
+            )
+
+    def test_sampling_traces_subset(self):
+        tracer = Tracer(sample_every=3)
+        app = run_traced(7, rate=100.0, tracer=tracer)
+        total = len(app.completed) + len(app.failed)
+        traced = [
+            r for r in app.completed + app.failed if r.trace is not None
+        ]
+        assert 0 < len(traced) < total
+        # Exactly every 3rd *begun* request is adopted (some begun
+        # requests are still in flight when the run stops).
+        assert len(tracer.traces) == (tracer._seen + 2) // 3
+        assert len(tracer.traces) >= total // 3
+
+    def test_tracer_metrics_fed_on_finish(self):
+        tracer = Tracer()
+        app = run_traced(11, rate=200.0, tracer=tracer)
+        snapshot = tracer.metrics.snapshot()
+        assert (
+            snapshot["requests.completed"]["value"]
+            == len(app.completed)
+        )
+        assert snapshot["response_time"]["count"] == len(app.completed)
+
+    def test_trace_stack_misuse_raises(self):
+        trace = Trace(rid=1)
+        with pytest.raises(ValueError):
+            trace.end(1.0)
+        with pytest.raises(ValueError):
+            trace.add("queue_wait", "x", 0.0, 1.0)
+        trace.begin("request", "p", 0.0)
+        trace.end(1.0)
+        with pytest.raises(ValueError):
+            trace.begin("request", "p", 2.0)
+
+
+class TestObservabilityBundle:
+    def test_attach_wires_tracer_and_kernel(self):
+        sim = Simulator()
+        app = three_tier_app(sim)
+        obs = Observability()
+        obs.attach(sim, app)
+        assert app.tracer is obs.tracer
+        streams = RandomStreams(2)
+        factory = exponential_request_factory(
+            {"web": 0.001, "appsrv": 0.002, "db": 0.004},
+            streams.get("demands"),
+        )
+        OpenLoopGenerator(
+            sim, app, factory, rate=80.0, rng=streams.get("arrivals")
+        ).start()
+        sim.run(until=4.0)
+        report = obs.report()
+        assert report["kernel"]["events_dispatched"] > 0
+        assert report["traces"] == len(obs.tracer.traces) > 0
+        assert "requests.completed" in report["metrics"]
