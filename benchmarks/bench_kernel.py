@@ -1,0 +1,196 @@
+"""Kernel/trace-storage throughput benchmark (the PR-3 tentpole gate).
+
+Measures the 10k-user RUBBoS scenario (60 simulated seconds, private
+cloud, MemCA attack on) with tracing off and with full-population
+tracing, and compares against the committed pre-rewrite baseline in
+``benchmarks/results/BENCH_kernel_baseline_prepr.json``.
+
+Methodology: every measurement runs in a **fresh python process** (the
+script re-execs itself with ``--worker``) because retained state from a
+prior in-process run — a ~100 MB object graph the allocator and GC keep
+walking — inflates subsequent wall times by 15-25%.  The reported
+number per mode is the minimum over ``--repeat`` runs, the standard
+noise-rejecting statistic for throughput benchmarks on shared machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full gate
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check    # enforce <10s
+
+Results land in ``benchmarks/results/BENCH_kernel.json`` (or
+``BENCH_kernel_quick.json`` with ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BASELINE_PATH = os.path.join(RESULTS_DIR, "BENCH_kernel_baseline_prepr.json")
+
+#: Baseline-file scenario keys per tracing mode.
+SCENARIO_KEYS = {
+    False: "users10k_60s_untraced",
+    True: "users10k_60s_traced_full_population",
+}
+
+
+def run_once(users: int, duration: float, tracing: bool) -> dict:
+    """One measurement in the current process; returns the result dict."""
+    from repro.experiments.configs import PRIVATE_CLOUD
+    from repro.experiments.runner import run_rubbos
+
+    scenario = dataclasses.replace(
+        PRIVATE_CLOUD, users=users, duration=duration, warmup=0.0
+    )
+    t0 = time.perf_counter()
+    run = run_rubbos(scenario, tracing=tracing)
+    wall = time.perf_counter() - t0
+    events = None
+    if tracing and run.obs is not None:
+        events = run.obs.kernel.events_dispatched
+    return {
+        "users": users,
+        "sim_seconds": duration,
+        "tracing": tracing,
+        "wall_seconds": wall,
+        "completed_requests": len(run.app.completed),
+        "events_dispatched": events,
+        "wall_per_sim_second": wall / duration,
+    }
+
+
+def measure_fresh(
+    users: int, duration: float, tracing: bool, repeat: int
+) -> dict:
+    """Min-over-repeats, one fresh subprocess per repeat."""
+    walls = []
+    best = None
+    for _ in range(repeat):
+        cmd = [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--worker",
+            "--users", str(users),
+            "--duration", str(duration),
+        ]
+        if tracing:
+            cmd.append("--tracing")
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            cmd, env=env, check=True, capture_output=True, text=True
+        )
+        result = json.loads(out.stdout.strip().splitlines()[-1])
+        walls.append(result["wall_seconds"])
+        if best is None or result["wall_seconds"] < best["wall_seconds"]:
+            best = result
+    best["wall_seconds_repeats"] = walls
+    return best
+
+
+def load_baseline() -> dict:
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh).get("scenarios", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 2k users x 10 sim-seconds, single in-process run",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the traced 10k-user run beats 10s wall",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument(
+        "--worker", action="store_true", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--tracing", action="store_true", help=argparse.SUPPRESS
+    )
+    args = parser.parse_args()
+
+    if args.worker:
+        result = run_once(
+            args.users or 10000, args.duration or 60.0, args.tracing
+        )
+        print(json.dumps(result))
+        return 0
+
+    users = args.users or (2000 if args.quick else 10000)
+    duration = args.duration or (10.0 if args.quick else 60.0)
+    baseline = load_baseline()
+    report = {
+        "kind": "kernel-benchmark",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "users": users,
+        "sim_seconds": duration,
+        "scenarios": {},
+    }
+    for tracing in (False, True):
+        label = "traced" if tracing else "untraced"
+        if args.quick:
+            result = run_once(users, duration, tracing)
+        else:
+            result = measure_fresh(users, duration, tracing, args.repeat)
+        report["scenarios"][label] = result
+        line = (
+            f"{label:9s} {users} users x {duration:g} sim-s: "
+            f"{result['wall_seconds']:.3f}s wall "
+            f"({result['completed_requests']} requests)"
+        )
+        ref = baseline.get(SCENARIO_KEYS[tracing])
+        if ref and not args.quick and users == 10000 and duration == 60.0:
+            speedup = ref["wall_seconds"] / result["wall_seconds"]
+            result["baseline_wall_seconds"] = ref["wall_seconds"]
+            result["speedup_vs_prepr"] = speedup
+            line += f"  [{speedup:.2f}x vs pre-PR {ref['wall_seconds']:.2f}s]"
+        print(line)
+
+    out = args.out or os.path.join(
+        RESULTS_DIR,
+        "BENCH_kernel_quick.json" if args.quick else "BENCH_kernel.json",
+    )
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.check and not args.quick:
+        traced = report["scenarios"]["traced"]["wall_seconds"]
+        if traced >= 10.0:
+            print(
+                f"FAIL: traced 10k-user run took {traced:.2f}s (>= 10s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: traced 10k-user run {traced:.2f}s < 10s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ paper's Figs 6/7 compare.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -40,6 +42,30 @@ __all__ = [
     "MODEL_MODES",
     "make_attack_program",
 ]
+
+
+@contextmanager
+def _population_frozen():
+    """Exempt the constructed world from cyclic-GC scans during a run.
+
+    A large closed-loop population is tens of thousands of live
+    generators, events, and monitors that every full collection would
+    re-traverse (measured at ~25% of kernel wall time at 10k users).
+    All of it stays reachable for the whole run, so we move it to the
+    permanent generation while the simulation executes; per-request
+    garbage created *after* the freeze is still collected normally.
+    Purely a memory-management change — simulation results are
+    unaffected.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 def make_attack_program(
@@ -96,6 +122,7 @@ def run_rubbos(
     feedback_goals=None,
     tracing: bool = False,
     trace_sample_every: int = 1,
+    trace_columnar: bool = True,
 ) -> RubbosRun:
     """Build and execute one closed-loop RUBBoS scenario.
 
@@ -105,7 +132,9 @@ def run_rubbos(
     observational — it schedules no events — so a traced run produces
     identical measurements to an untraced one at the same seed.
     ``trace_sample_every`` traces every n-th request to bound memory on
-    very long runs.
+    very long runs; ``trace_columnar=False`` swaps the columnar span
+    store for per-span :class:`repro.obs.span.Trace` objects (same
+    output, used by the determinism tests).
     """
     streams = RandomStreams(scenario.seed)
     sim = Simulator()
@@ -121,7 +150,9 @@ def run_rubbos(
     )
     obs = None
     if tracing:
-        obs = Observability(sample_every=trace_sample_every)
+        obs = Observability(
+            sample_every=trace_sample_every, columnar=trace_columnar
+        )
         obs.attach(sim, deployment.app)
     workload = RubbosWorkload(rng=streams.get("workload"))
     population = UserPopulation(
@@ -190,7 +221,8 @@ def run_rubbos(
         )
         llc_profiler.start()
 
-    sim.run(until=scenario.duration)
+    with _population_frozen():
+        sim.run(until=scenario.duration)
     return RubbosRun(
         scenario=scenario,
         sim=sim,

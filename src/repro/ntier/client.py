@@ -30,6 +30,25 @@ __all__ = ["fetch", "ClosedLoopClient", "UserPopulation", "OpenLoopProber"]
 #: A request factory: (request id) -> Request with sampled demands.
 RequestFactory = Callable[[int], Request]
 
+#: Interned per-attempt span names ("attempt-1", "rto-1", ...) so the
+#: traced fast path does not re-format an f-string per transmission.
+_ATTEMPT_NAMES: dict = {}
+_RTO_NAMES: dict = {}
+
+
+def _attempt_name(n: int) -> str:
+    name = _ATTEMPT_NAMES.get(n)
+    if name is None:
+        name = _ATTEMPT_NAMES[n] = f"attempt-{n}"
+    return name
+
+
+def _rto_name(n: int) -> str:
+    name = _RTO_NAMES.get(n)
+    if name is None:
+        name = _RTO_NAMES[n] = f"rto-{n}"
+    return name
+
 
 def fetch(
     sim: Simulator,
@@ -49,28 +68,27 @@ def fetch(
     tree: a ``request`` root, one ``attempt`` span per transmission,
     and an ``rto_wait`` span for every retransmission backoff.
     """
-    request.t_first_attempt = sim.now
+    request.t_first_attempt = sim._now
     tracer = app.tracer
     trace = tracer.begin_trace(request) if tracer.enabled else None
     if trace is not None:
-        trace.begin("request", request.page, sim.now)
-    rtos = tcp.timeouts()
+        trace.begin("request", request.page, sim._now)
+    # app.serve is pure delegation to the front tier; calling the tier
+    # directly drops one generator frame from the yield-from chain that
+    # every event delivery has to traverse.
+    serve = app.serve_tandem if tandem else app.front.handle
+    rtos = None
     while True:
         request.attempts += 1
-        request.attempt_times.append(sim.now)
+        request.attempt_times.append(sim._now)
         if trace is not None:
-            trace.begin("attempt", f"attempt-{request.attempts}", sim.now)
+            trace.begin("attempt", _attempt_name(request.attempts), sim._now)
         try:
-            if tandem:
-                yield from app.serve_tandem(request)
-            else:
-                yield from app.serve(request)
-            request.t_done = sim.now
+            yield from serve(request)
+            request.t_done = now = sim._now
             if trace is not None:
-                trace.end(sim.now)
-                trace.end(
-                    sim.now, status="ok", attempts=request.attempts
-                )
+                trace.end(now)
+                trace.end(now, status="ok", attempts=request.attempts)
                 tracer.finish(request)
             app.record(request)
             return request
@@ -78,30 +96,34 @@ def fetch(
             request.drop_tiers.append(overflow.tier)
             if trace is not None:
                 trace.end(
-                    sim.now, dropped=True, drop_tier=overflow.tier
+                    sim._now, dropped=True, drop_tier=overflow.tier
                 )
+            if rtos is None:
+                # Lazily built: most requests never see a drop, so the
+                # backoff iterator is only created on the first one.
+                rtos = tcp.timeouts()
             try:
                 rto = next(rtos)
             except StopIteration:
                 request.failed = True
-                request.t_done = sim.now
+                request.t_done = now = sim._now
                 if trace is not None:
                     trace.end(
-                        sim.now,
+                        now,
                         status="failed",
                         attempts=request.attempts,
                     )
                     tracer.finish(request)
                 app.record(request)
                 return request
-            backoff_start = sim.now
+            backoff_start = sim._now
             yield sim.timeout(rto)
             if trace is not None:
                 trace.add(
                     "rto_wait",
-                    f"rto-{request.attempts}",
+                    _rto_name(request.attempts),
                     backoff_start,
-                    sim.now,
+                    sim._now,
                     rto=rto,
                 )
 
@@ -132,16 +154,21 @@ class ClosedLoopClient:
 
     def run(self, start_delay: float = 0.0) -> Generator:
         """The user's endless session loop (run as a process)."""
+        sim = self.sim
         if start_delay > 0:
-            yield self.sim.timeout(start_delay)
+            yield sim.timeout(start_delay)
+        app = self.app
+        factory = self.request_factory
+        tcp = self.tcp
+        tandem = self.tandem
+        exponential = self.rng.exponential
+        think_time = self.think_time
+        timeout = sim.timeout
         while True:
-            request = self.request_factory(self.requests_sent)
+            request = factory(self.requests_sent)
             self.requests_sent += 1
-            yield from fetch(
-                self.sim, self.app, request, tcp=self.tcp, tandem=self.tandem
-            )
-            think = float(self.rng.exponential(self.think_time))
-            yield self.sim.timeout(think)
+            yield from fetch(sim, app, request, tcp=tcp, tandem=tandem)
+            yield timeout(float(exponential(think_time)))
 
 
 class UserPopulation:
@@ -195,9 +222,13 @@ class UserPopulation:
             return
         self._started = True
         think = self.clients[0].think_time or 1.0
-        for client in self.clients:
-            delay = float(self.rng.uniform(0.0, think))
-            self.sim.process(client.run(start_delay=delay))
+        # One vectorized draw for the whole population: consumes the
+        # same uniforms in the same order as per-client scalar draws
+        # (so fixed-seed results are unchanged) but starts 10k+ users
+        # without 10k round-trips into numpy.
+        delays = self.rng.uniform(0.0, think, size=len(self.clients))
+        for client, delay in zip(self.clients, delays):
+            self.sim.process(client.run(start_delay=float(delay)))
 
     @property
     def total_requests_sent(self) -> int:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..hardware.vm import VirtualMachine
-from ..sim.core import Simulator
+from ..sim.core import _PENDING, Simulator
 from ..sim.resources import CapacityError, Resource
 from .request import Request
 
@@ -64,6 +64,10 @@ class Tier:
         self.arrivals = 0
         self.completions = 0
         self.drops = 0
+        # (downstream, "a->b", "b->a") net-span name cache, built on
+        # first traced use so the f-strings are not re-formatted per
+        # request.
+        self._net_names: Optional[tuple] = None
 
     @property
     def concurrency(self) -> int:
@@ -127,19 +131,20 @@ class Tier:
                     cpu.cancel(job)
                 raise
             return
-        start = self.sim.now
-        speed = cpu.speed
+        sim = self.sim
+        start = sim._now
+        speed = cpu._speed
         try:
             yield job
         except BaseException:
-            if not job.triggered:
+            if job._value is _PENDING:
                 cpu.cancel(job)
             trace.add(
-                "service", self.name, start, self.sim.now,
+                "service", self.name, start, sim._now,
                 work=work, speed_at_start=speed, aborted=True,
             )
             raise
-        end = self.sim.now
+        end = sim._now
         effective = work / (end - start) if end > start else speed
         trace.add(
             "service", self.name, start, end,
@@ -154,66 +159,143 @@ class Tier:
         process, so the whole request path is one coroutine — exactly
         the synchronous RPC chain of the real system.
         """
-        enter = self.sim.now
+        sim = self.sim
+        name = self.name
+        enter = sim._now
         self.arrivals += 1
         trace = request.trace
         if trace is not None:
-            trace.begin("tier", self.name, enter)
+            trace.begin("tier", name, enter)
         try:
             try:
                 token = self.pool.request()
             except CapacityError:
                 self.drops += 1
-                raise TierOverflowError(self.name) from None
+                raise TierOverflowError(name) from None
             try:
                 yield token
                 if trace is not None:
-                    trace.add("queue_wait", self.name, enter, self.sim.now)
-                demand = request.demand(self.name)
+                    trace.add("queue_wait", name, enter, sim._now)
+                demands = request.demands
+                demand = demands.get(name, 0.0)
+                downstream = self.downstream
                 goes_down = (
-                    self.downstream is not None
-                    and request.visits(self.downstream.name)
+                    downstream is not None
+                    and demands.get(downstream.name, 0.0) > 0.0
                 )
                 pre = demand * self.work_split if goes_down else demand
                 post = demand - pre
+                net_delay = self.net_delay
                 if pre > 0:
-                    yield from self._execute(pre, trace)
+                    # CPU slices run inline instead of delegating into
+                    # _execute: one fewer generator frame on every
+                    # resume.  The traced arm mirrors _execute's span
+                    # exactly.
+                    cpu = self.vm.cpu
+                    job = cpu.execute(pre)
+                    if trace is None:
+                        try:
+                            yield job
+                        except BaseException:
+                            if job._value is _PENDING:
+                                cpu.cancel(job)
+                            raise
+                    else:
+                        start = sim._now
+                        speed = cpu._speed
+                        try:
+                            yield job
+                        except BaseException:
+                            if job._value is _PENDING:
+                                cpu.cancel(job)
+                            trace.add(
+                                "service", name, start, sim._now,
+                                work=pre, speed_at_start=speed,
+                                aborted=True,
+                            )
+                            raise
+                        end = sim._now
+                        trace.add(
+                            "service", name, start, end,
+                            work=pre, speed_at_start=speed,
+                            effective_speed=(
+                                pre / (end - start)
+                                if end > start
+                                else speed
+                            ),
+                        )
                 if goes_down:
-                    if self.net_delay > 0:
-                        hop = self.sim.now
-                        yield self.sim.timeout(self.net_delay)
-                        if trace is not None:
-                            trace.add(
-                                "net",
-                                f"{self.name}->{self.downstream.name}",
-                                hop, self.sim.now,
+                    if trace is not None:
+                        net_names = self._net_names
+                        if (
+                            net_names is None
+                            or net_names[0] is not downstream
+                        ):
+                            net_names = self._net_names = (
+                                downstream,
+                                f"{name}->{downstream.name}",
+                                f"{downstream.name}->{name}",
                             )
-                    yield from self.downstream.handle(request)
-                    if self.net_delay > 0:
-                        hop = self.sim.now
-                        yield self.sim.timeout(self.net_delay)
+                    if net_delay > 0:
+                        hop = sim._now
+                        yield sim.timeout(net_delay)
                         if trace is not None:
-                            trace.add(
-                                "net",
-                                f"{self.downstream.name}->{self.name}",
-                                hop, self.sim.now,
-                            )
+                            trace.add("net", net_names[1], hop, sim._now)
+                    yield from downstream.handle(request)
+                    if net_delay > 0:
+                        hop = sim._now
+                        yield sim.timeout(net_delay)
+                        if trace is not None:
+                            trace.add("net", net_names[2], hop, sim._now)
                 if post > 0:
-                    yield from self._execute(post, trace)
+                    cpu = self.vm.cpu
+                    job = cpu.execute(post)
+                    if trace is None:
+                        try:
+                            yield job
+                        except BaseException:
+                            if job._value is _PENDING:
+                                cpu.cancel(job)
+                            raise
+                    else:
+                        start = sim._now
+                        speed = cpu._speed
+                        try:
+                            yield job
+                        except BaseException:
+                            if job._value is _PENDING:
+                                cpu.cancel(job)
+                            trace.add(
+                                "service", name, start, sim._now,
+                                work=post, speed_at_start=speed,
+                                aborted=True,
+                            )
+                            raise
+                        end = sim._now
+                        trace.add(
+                            "service", name, start, end,
+                            work=post, speed_at_start=speed,
+                            effective_speed=(
+                                post / (end - start)
+                                if end > start
+                                else speed
+                            ),
+                        )
             finally:
-                if token in self.pool.users:
-                    self.pool.release(token)
+                pool = self.pool
+                if token in pool.users:
+                    pool.release(token)
                 else:
                     # Aborted while still waiting for a thread.
-                    self.pool.cancel(token)
+                    pool.cancel(token)
         except BaseException as exc:
             if trace is not None:
-                trace.end(self.sim.now, error=type(exc).__name__)
+                trace.end(sim._now, error=type(exc).__name__)
             raise
         self.completions += 1
-        request.record_span(self.name, enter, self.sim.now)
+        request.record_span(name, enter, sim._now)
         if trace is not None:
-            trace.end(self.sim.now)
+            trace.end(sim._now)
 
     def serve_local(self, request: Request) -> Generator:
         """Serve only this tier's demand (tandem-queue mode).

@@ -26,11 +26,13 @@ from __future__ import annotations
 from typing import Optional
 
 from .bus import EventBus, KernelProfiler
+from .columnar import SPAN_DTYPE, ColumnarTrace, SpanStore
 from .metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from .span import LEAF_KINDS, SPAN_KINDS, Span, Trace
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "ColumnarTrace",
     "Counter",
     "EventBus",
     "Gauge",
@@ -40,8 +42,10 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SPAN_DTYPE",
     "SPAN_KINDS",
     "Span",
+    "SpanStore",
     "StreamingHistogram",
     "Trace",
     "Tracer",
@@ -55,11 +59,15 @@ class Observability:
         self,
         sample_every: int = 1,
         kernel_sample_every: int = 1024,
+        columnar: bool = True,
     ):
         self.bus = EventBus()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(
-            sample_every=sample_every, metrics=self.metrics, bus=self.bus
+            sample_every=sample_every,
+            metrics=self.metrics,
+            bus=self.bus,
+            columnar=columnar,
         )
         self.kernel = KernelProfiler(
             sample_every=kernel_sample_every, metrics=self.metrics

@@ -9,8 +9,13 @@ guarantees byte-identical results with tracing on or off.
 
 :data:`NULL_TRACER` is the module-wide disabled singleton;
 :class:`Tracer` records every (or every ``sample_every``-th) request
-into :class:`~repro.obs.span.Trace` trees and folds completion metrics
-into a :class:`~repro.obs.metrics.MetricsRegistry`.
+and folds completion metrics into a
+:class:`~repro.obs.metrics.MetricsRegistry`.  By default spans land in
+a shared :class:`~repro.obs.columnar.SpanStore` (rows in one columnar
+table, materialized to :class:`~repro.obs.span.Span` trees only on
+access); ``columnar=False`` restores the per-span object
+:class:`~repro.obs.span.Trace` — both produce identical trees, JSONL
+exports, and attribution output.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .bus import EventBus
+from .columnar import ColumnarTrace, SpanStore
 from .metrics import MetricsRegistry
 from .span import Trace
 
@@ -52,42 +58,53 @@ class Tracer:
         sample_every: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         bus: Optional[EventBus] = None,
+        columnar: bool = True,
     ):
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1: {sample_every}")
         self.sample_every = int(sample_every)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.bus = bus
+        #: The shared columnar table (None in object-trace mode).
+        self.store: Optional[SpanStore] = SpanStore() if columnar else None
         self.traces: List[Trace] = []
         self._seen = 0
+        # Instruments resolved once — finish() runs per request.
+        metrics = self.metrics
+        self._c_completed = metrics.counter("requests.completed")
+        self._c_failed = metrics.counter("requests.failed")
+        self._c_retransmitted = metrics.counter("requests.retransmitted")
+        self._c_tcp_retrans = metrics.counter("tcp.retransmissions")
+        self._h_response_time = metrics.histogram("response_time")
 
     def begin_trace(self, request) -> Optional[Trace]:
         """Adopt ``request`` for tracing (or skip it when sampling)."""
         self._seen += 1
         if (self._seen - 1) % self.sample_every != 0:
             return None
-        trace = Trace(request.rid)
+        store = self.store
+        if store is not None:
+            trace = ColumnarTrace(store, request.rid)
+        else:
+            trace = Trace(request.rid)
         request.trace = trace
         self.traces.append(trace)
         return trace
 
     def finish(self, request) -> None:
         """Fold a finished traced request into metrics and the bus."""
-        metrics = self.metrics
         if request.failed:
-            metrics.counter("requests.failed").inc()
+            self._c_failed.inc()
             topic = "request.failed"
         else:
-            metrics.counter("requests.completed").inc()
+            self._c_completed.inc()
             topic = "request.completed"
             rt = request.response_time
             if rt is not None:
-                metrics.histogram("response_time").observe(rt)
+                self._h_response_time.observe(rt)
         if request.attempts > 1:
-            metrics.counter("requests.retransmitted").inc()
-            metrics.counter("tcp.retransmissions").inc(
-                request.attempts - 1
-            )
+            self._c_retransmitted.inc()
+            self._c_tcp_retrans.inc(request.attempts - 1)
         if self.bus is not None:
             self.bus.publish(topic, request)
 

@@ -131,35 +131,59 @@ class ProcessorSharingServer:
 
     def _advance(self) -> None:
         """Bring job progress and integrators up to ``sim.now``."""
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._last_update
         if dt <= 0:
             self._last_update = now
             return
-        n = len(self._jobs)
+        jobs = self._jobs
+        n = len(jobs)
         if n:
-            active_cores = min(n, self.cores)
+            active_cores = n if n < self.cores else self.cores
             # Stalled-but-runnable vCPUs look busy to guest monitors.
             self._busy_core_seconds += dt * active_cores
-            progress = self._per_job_rate(n) * dt
+            progress = self._speed * active_cores / n * dt
             if progress > 0:
                 self._work_done += progress * n
-                for job in self._jobs:
-                    self._jobs[job] -= progress
+                for job in jobs:
+                    jobs[job] -= progress
         self._last_update = now
 
     def _reschedule(self) -> None:
-        """Schedule the next completion after any state change."""
+        """Schedule the next completion after any state change.
+
+        Superseded timers are discarded lazily: every re-arm bumps the
+        generation, and a stale ``fire`` returns without touching the
+        server, so the heap never needs an O(n) deletion.  The common
+        no-completion case runs a single ``min`` scan — the finished-job
+        list is only materialized when something actually completed.
+        """
         self._generation += 1
         generation = self._generation
-        self._complete_finished()
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
-        rate = self._per_job_rate(len(self._jobs))
+        shortest = min(jobs.values())
+        if shortest <= _EPSILON:
+            finished = [
+                job for job, remaining in jobs.items()
+                if remaining <= _EPSILON
+            ]
+            for job in finished:
+                del jobs[job]
+                self.jobs_completed += 1
+                job.succeed()
+            if not jobs:
+                return
+            shortest = min(jobs.values())
+        n = len(jobs)
+        cores = self.cores
+        rate = self._speed * (n if n < cores else cores) / n
         if rate <= 0:
             return  # Fully stalled: no completion until speed changes.
-        shortest = min(self._jobs.values())
-        delay = max(0.0, shortest / rate)
+        delay = shortest / rate
+        if delay < 0.0:
+            delay = 0.0
 
         def fire() -> None:
             if generation != self._generation:
@@ -167,14 +191,4 @@ class ProcessorSharingServer:
             self._advance()
             self._reschedule()
 
-        self.sim.call_in(delay, fire)
-
-    def _complete_finished(self) -> None:
-        finished = [
-            job for job, remaining in self._jobs.items()
-            if remaining <= _EPSILON
-        ]
-        for job in finished:
-            del self._jobs[job]
-            self.jobs_completed += 1
-            job.succeed()
+        self.sim.defer_in(delay, fire)

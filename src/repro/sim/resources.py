@@ -14,9 +14,10 @@ Provides the concurrency-control building blocks the n-tier model needs:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from heapq import heappush
+from typing import Any, Deque, Dict, Optional
 
-from .core import Event, SimulationError, Simulator
+from .core import _PENDING, URGENT, Event, SimulationError, Simulator
 
 __all__ = ["Resource", "Request", "Store", "Container", "CapacityError"]
 
@@ -41,7 +42,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # Flattened Event.__init__ — one Request per tier visit makes
+        # this allocation path hot at population scale.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
 
 
@@ -67,7 +74,11 @@ class Resource:
         self.sim = sim
         self.capacity = int(capacity)
         self.max_queue = max_queue
-        self.users: List[Request] = []
+        # Granted requests, insertion-ordered.  A dict (used as an
+        # ordered set) keeps membership tests and release O(1); with a
+        # list the release scan is O(capacity) and tier pools run to
+        # hundreds of threads.
+        self.users: Dict[Request, None] = {}
         self.queue: Deque[Request] = deque()
         # High-water marks, useful for assertions and monitoring.
         self.peak_in_use = 0
@@ -101,10 +112,17 @@ class Resource:
         """
         self.total_requests += 1
         req = Request(self)
-        if len(self.users) < self.capacity:
-            self.users.append(req)
-            self.peak_in_use = max(self.peak_in_use, len(self.users))
-            req.succeed()
+        users = self.users
+        if len(users) < self.capacity:
+            users[req] = None
+            if len(users) > self.peak_in_use:
+                self.peak_in_use = len(users)
+            # Inlined req.succeed(): a fresh Request is always pending.
+            req._ok = True
+            req._value = None
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim._now, URGENT, seq, req))
             return req
         if self.max_queue is not None and len(self.queue) >= self.max_queue:
             self.total_rejections += 1
@@ -112,25 +130,33 @@ class Resource:
                 f"wait queue full ({self.max_queue} waiters)"
             )
         self.queue.append(req)
-        self.peak_queued = max(self.peak_queued, len(self.queue))
+        if len(self.queue) > self.peak_queued:
+            self.peak_queued = len(self.queue)
         return req
 
     def release(self, request: Request) -> None:
         """Return a previously granted unit and wake the next waiter."""
         try:
-            self.users.remove(request)
-        except ValueError:
+            del self.users[request]
+        except KeyError:
             raise SimulationError(
                 "release() of a request that does not hold the resource"
             ) from None
         while self.queue:
             nxt = self.queue.popleft()
-            if nxt.triggered:
+            if nxt._value is not _PENDING:
                 # Cancelled while waiting (e.g. timed-out); skip it.
                 continue
-            self.users.append(nxt)
-            self.peak_in_use = max(self.peak_in_use, len(self.users))
-            nxt.succeed()
+            users = self.users
+            users[nxt] = None
+            if len(users) > self.peak_in_use:
+                self.peak_in_use = len(users)
+            # Inlined nxt.succeed() (pending checked just above).
+            nxt._ok = True
+            nxt._value = None
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim._now, URGENT, seq, nxt))
             break
 
     def cancel(self, request: Request) -> None:

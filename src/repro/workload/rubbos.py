@@ -129,6 +129,20 @@ class RubbosWorkload:
         else:
             self.distribution = Exponential()
         self._stationary: Optional[np.ndarray] = None
+        self._stationary_cdf: Optional[np.ndarray] = None
+        self._transition_cdfs: Optional[np.ndarray] = None
+        # Per-page scaled (tier, mean) pairs with zero-demand tiers
+        # already filtered, so sample_demands is pure RNG draws.
+        self._scaled_means = [
+            [
+                (tier, mean * self.demand_scale)
+                for tier, mean in page.demand_means
+                if mean * self.demand_scale > 0
+            ]
+            for page in self.pages
+        ]
+        self._page_index = {id(page): i for i, page in enumerate(self.pages)}
+        self._exponential_demands = isinstance(self.distribution, Exponential)
 
     # -- page sampling -----------------------------------------------------
 
@@ -145,32 +159,71 @@ class RubbosWorkload:
             self._stationary = pi / pi.sum()
         return self._stationary
 
+    def _cdf_of(self, p: np.ndarray) -> np.ndarray:
+        """The normalized inclusive CDF ``Generator.choice(p=...)`` uses.
+
+        Sampling ``cdf.searchsorted(rng.random(), side="right")``
+        consumes exactly one uniform double — the same stream draw as
+        ``rng.choice(n, p=p)`` — and returns the same index, so the fast
+        path below is bit-for-bit identical to the ``choice`` call it
+        replaced (asserted in ``tests/test_workload.py`` and by the
+        golden determinism suite).
+        """
+        cdf = p.cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
     def sample_page(self) -> PageClass:
         """Draw a page i.i.d. from the stationary distribution."""
-        pi = self.stationary_distribution()
-        idx = int(self.rng.choice(len(self.pages), p=pi))
+        if self._stationary_cdf is None:
+            self._stationary_cdf = self._cdf_of(self.stationary_distribution())
+        idx = self._stationary_cdf.searchsorted(
+            self.rng.random(), side="right"
+        )
         return self.pages[idx]
 
     def session(self) -> Iterator[PageClass]:
         """A per-user Markov navigation sequence (infinite iterator)."""
-        pi = self.stationary_distribution()
-        state = int(self.rng.choice(len(self.pages), p=pi))
+        if self._stationary_cdf is None:
+            self._stationary_cdf = self._cdf_of(self.stationary_distribution())
+        if self._transition_cdfs is None:
+            self._transition_cdfs = np.stack(
+                [self._cdf_of(row) for row in self.transitions]
+            )
+        rng = self.rng
+        pages = self.pages
+        cdfs = self._transition_cdfs
+        state = int(
+            self._stationary_cdf.searchsorted(rng.random(), side="right")
+        )
         while True:
-            yield self.pages[state]
-            row = self.transitions[state]
-            state = int(self.rng.choice(len(self.pages), p=row))
+            yield pages[state]
+            state = int(cdfs[state].searchsorted(rng.random(), side="right"))
 
     # -- demand / request construction --------------------------------------
 
     def sample_demands(self, page: PageClass) -> Dict[str, float]:
         """Per-tier CPU demand for one request of ``page``."""
-        demands = {}
-        for tier, mean in page.demand_means:
-            mean_scaled = mean * self.demand_scale
-            if mean_scaled <= 0:
-                continue
-            demands[tier] = self.distribution.sample(self.rng, mean_scaled)
-        return demands
+        index = self._page_index.get(id(page))
+        if index is None:
+            # A page object not from self.pages (ad-hoc caller).
+            scaled = [
+                (tier, mean * self.demand_scale)
+                for tier, mean in page.demand_means
+                if mean * self.demand_scale > 0
+            ]
+        else:
+            scaled = self._scaled_means[index]
+        if self._exponential_demands:
+            # Fast path: rng.exponential(mean) directly — identical
+            # draws to Exponential.sample without the dispatch.
+            rng = self.rng
+            return {
+                tier: float(rng.exponential(mean)) for tier, mean in scaled
+            }
+        sample = self.distribution.sample
+        rng = self.rng
+        return {tier: sample(rng, mean) for tier, mean in scaled}
 
     def make_request(
         self, rid: int, page: Optional[PageClass] = None

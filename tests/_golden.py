@@ -1,0 +1,102 @@
+"""Shared fixtures for the fixed-seed golden determinism tests.
+
+The kernel and span-storage rewrites are behavior-preserving by
+contract; this module pins that contract down.  It defines small
+fig2/fig9-scale scenarios and canonical snapshot encoders (request CSV
+text, percentile-sketch JSON, attribution render) whose outputs are
+committed under ``tests/golden/``.  The goldens were generated from the
+pre-rewrite kernel, so ``tests/test_determinism.py`` comparing against
+them byte-for-byte proves the rewrites changed nothing observable.
+
+Regenerate (only when a *deliberate* behavior change lands) with::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import replace
+
+from repro.analysis.attribution import attribute_run
+from repro.analysis.export import requests_to_rows
+from repro.experiments.configs import PRIVATE_CLOUD
+from repro.experiments.runner import run_rubbos
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+TIERS = ("apache", "tomcat", "mysql")
+
+#: Fig 2 at small N: closed-loop RUBBoS population under the default
+#: MemCA lock attack, private-cloud host, fixed seed.
+GOLDEN_FIG2 = replace(
+    PRIVATE_CLOUD, name="golden-fig2", users=1500, duration=8.0, warmup=2.0
+)
+
+#: Fig 9 at small N: same shape, different seed and a denser burst
+#: train so the attribution join sees several ON windows.
+GOLDEN_FIG9 = replace(
+    PRIVATE_CLOUD,
+    name="golden-fig9",
+    users=2000,
+    duration=10.0,
+    warmup=2.0,
+    seed=23,
+    attack=replace(PRIVATE_CLOUD.attack, length=0.4, interval=1.5),
+)
+
+
+def requests_csv_text(run) -> str:
+    """The run's post-warmup request table as canonical CSV text."""
+    rows = requests_to_rows(run.client_requests(), tiers=TIERS)
+    fields = list(rows[0].keys()) if rows else ["rid"]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def sketch_json_text(run) -> str:
+    """Percentile-sketch values of a traced run's response times."""
+    hist = run.obs.metrics.histogram("response_time")
+    payload = {
+        "count": hist.count,
+        "total": hist.total,
+        "min": hist.low,
+        "max": hist.high,
+        "percentiles": {
+            str(q): hist.percentile(q)
+            for q in (50.0, 90.0, 95.0, 99.0, 99.9)
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def attribution_text(run) -> str:
+    """The rendered root-cause attribution report for the run."""
+    return attribute_run(run, threshold=0.5).render() + "\n"
+
+
+def run_golden_fig2(tracing: bool = False):
+    return run_rubbos(GOLDEN_FIG2, tracing=tracing)
+
+
+def run_golden_fig9(tracing: bool = True, **kwargs):
+    return run_rubbos(GOLDEN_FIG9, tracing=tracing, **kwargs)
+
+
+#: golden file name -> callable producing its current text.
+def snapshots() -> dict:
+    fig2 = run_golden_fig2()
+    fig9 = run_golden_fig9()
+    return {
+        "fig2_requests.csv": requests_csv_text(fig2),
+        "fig9_requests.csv": requests_csv_text(fig9),
+        "fig9_sketch.json": sketch_json_text(fig9),
+        "fig9_attribution.txt": attribution_text(fig9),
+    }
