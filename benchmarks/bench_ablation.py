@@ -20,8 +20,10 @@ from repro.experiments import (
 )
 
 
-def bench_ablation_burst_length(benchmark, report):
-    result = run_once(benchmark, sweep_burst_length)
+def bench_ablation_burst_length(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: sweep_burst_length(executor=sweep_executor)
+    )
     report("ablation_length", result.render())
     fractions = [p.fraction_above_rto for p in result.points]
     utils = [p.mean_mysql_util for p in result.points]
@@ -32,8 +34,10 @@ def bench_ablation_burst_length(benchmark, report):
     assert fractions[0] < 0.01
 
 
-def bench_ablation_interval(benchmark, report):
-    result = run_once(benchmark, sweep_interval)
+def bench_ablation_interval(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: sweep_interval(executor=sweep_executor)
+    )
     report("ablation_interval", result.render())
     # rho = P_D / I: damage dilutes as the interval grows (I >= 2s;
     # at I=1s retransmission collisions distort the closed loop).
@@ -42,8 +46,10 @@ def bench_ablation_interval(benchmark, report):
     assert fractions == sorted(fractions, reverse=True)
 
 
-def bench_ablation_degradation(benchmark, report):
-    result = run_once(benchmark, sweep_degradation)
+def bench_ablation_degradation(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: sweep_degradation(executor=sweep_executor)
+    )
     report("ablation_degradation", result.render())
     by_label = {p.label: p for p in result.points}
     # Condition 2: with lambda=300, C_off=600, damage needs D < 0.5.
@@ -52,8 +58,10 @@ def bench_ablation_degradation(benchmark, report):
     assert by_label["D=0.6"].drops < by_label["D=0.1"].drops / 10
 
 
-def bench_ablation_condition1(benchmark, report):
-    result = run_once(benchmark, condition1_ablation)
+def bench_ablation_condition1(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: condition1_ablation(executor=sweep_executor)
+    )
     report("ablation_condition1", result.render())
     ordered, inverted = result.points
     # Damage persists either way (front cap governs drops)...
@@ -63,8 +71,10 @@ def bench_ablation_condition1(benchmark, report):
     assert float(inverted.predicted_rho) == 0.0
 
 
-def bench_ablation_attack_programs(benchmark, report):
-    result = run_once(benchmark, compare_attack_programs)
+def bench_ablation_attack_programs(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: compare_attack_programs(executor=sweep_executor)
+    )
     report("ablation_programs", result.render())
     by_label = {p.label.split()[0]: p for p in result.points}
     lock = by_label["lock"]
@@ -79,8 +89,10 @@ def bench_ablation_attack_programs(benchmark, report):
     assert cleanse.client_p95 < 0.2
 
 
-def bench_ablation_target_tier(benchmark, report):
-    result = run_once(benchmark, sweep_target_tier)
+def bench_ablation_target_tier(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: sweep_target_tier(executor=sweep_executor)
+    )
     report("ablation_target", result.render())
     by_label = {p.label: p for p in result.points}
     mysql = by_label["target=mysql"]
@@ -94,8 +106,10 @@ def bench_ablation_target_tier(benchmark, report):
     assert apache.client_p95 < 0.2
 
 
-def bench_ablation_service_distribution(benchmark, report):
-    result = run_once(benchmark, sweep_service_distribution)
+def bench_ablation_service_distribution(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: sweep_service_distribution(executor=sweep_executor)
+    )
     report("ablation_distribution", result.render())
     # The amplification mechanism is insensitive to the service law:
     # all four distributions produce the > 1 s p95 at equal means.
@@ -104,8 +118,10 @@ def bench_ablation_service_distribution(benchmark, report):
         assert point.fraction_above_rto > 0.03, point.label
 
 
-def bench_ablation_rpc_vs_tandem(benchmark, report):
-    result = run_once(benchmark, rpc_vs_tandem)
+def bench_ablation_rpc_vs_tandem(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: rpc_vs_tandem(executor=sweep_executor)
+    )
     report("ablation_rpc", result.render())
     rpc, tandem = result.points
     # The amplification mechanism: no thread coupling, no client damage.
@@ -114,10 +130,12 @@ def bench_ablation_rpc_vs_tandem(benchmark, report):
     assert rpc.client_p99 > 5 * tandem.client_p99
 
 
-def bench_ablation_dual_tier(benchmark, report):
+def bench_ablation_dual_tier(benchmark, report, sweep_executor):
     from repro.experiments import dual_tier_attack
 
-    result = run_once(benchmark, dual_tier_attack)
+    result = run_once(
+        benchmark, lambda: dual_tier_attack(executor=sweep_executor)
+    )
     report("ablation_dual_tier", result.render())
     single, dual_full, split = result.points
     # Two full-intensity attackers on different tiers: strictly more

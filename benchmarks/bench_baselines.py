@@ -12,8 +12,11 @@ from conftest import run_once
 from repro.experiments import run_baseline_comparison
 
 
-def bench_baseline_positioning(benchmark, report):
-    result = run_once(benchmark, run_baseline_comparison)
+def bench_baseline_positioning(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark,
+        lambda: run_baseline_comparison(executor=sweep_executor),
+    )
     report("baselines", result.render())
     quiet = result.row("none")
     flood = result.row("flood")

@@ -11,8 +11,11 @@ from conftest import run_once
 from repro.experiments import run_capacity_validation
 
 
-def bench_capacity_baseline_matches_mva(benchmark, report):
-    result = run_once(benchmark, run_capacity_validation)
+def bench_capacity_baseline_matches_mva(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark,
+        lambda: run_capacity_validation(executor=sweep_executor),
+    )
     report("capacity", result.render())
     # Throughput within 15% of MVA at every population.
     assert result.within(0.15)

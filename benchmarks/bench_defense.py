@@ -11,8 +11,10 @@ from conftest import run_once
 from repro.experiments import run_defense
 
 
-def bench_defense_breaks_the_attack(benchmark, report):
-    result = run_once(benchmark, run_defense)
+def bench_defense_breaks_the_attack(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: run_defense(executor=sweep_executor)
+    )
     report("defense", result.render())
     assert result.migrations, "defense never triggered"
     first = result.migrations[0].time
@@ -23,9 +25,12 @@ def bench_defense_breaks_the_attack(benchmark, report):
                               result.scenario.duration) < 0.1
 
 
-def bench_defense_cat_and_mouse(benchmark, report):
+def bench_defense_cat_and_mouse(benchmark, report, sweep_executor):
     result = run_once(
-        benchmark, lambda: run_defense(recolocate_after=25.0)
+        benchmark,
+        lambda: run_defense(
+            recolocate_after=25.0, executor=sweep_executor
+        ),
     )
     report("defense_cat_and_mouse", result.render())
     # The adversary re-co-locates and forces repeated migrations.

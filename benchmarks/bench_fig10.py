@@ -10,8 +10,10 @@ from conftest import run_once
 from repro.experiments import run_fig10
 
 
-def bench_fig10_autoscaling_bypass(benchmark, report):
-    result = run_once(benchmark, run_fig10)
+def bench_fig10_autoscaling_bypass(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: run_fig10(executor=sweep_executor)
+    )
     report("fig10", result.render())
     assert result.bypassed_autoscaling
     views = result.views

@@ -10,8 +10,11 @@ from conftest import run_once
 from repro.experiments import run_fig11
 
 
-def bench_fig11_llc_signatures(benchmark, report):
-    result = run_once(benchmark, lambda: run_fig11(duration=45.0))
+def bench_fig11_llc_signatures(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark,
+        lambda: run_fig11(duration=45.0, executor=sweep_executor),
+    )
     report("fig11", result.render())
     # (a) periodic LLC misses under intermittent bus saturation.
     assert result.saturation_leaves_signature
@@ -19,6 +22,7 @@ def bench_fig11_llc_signatures(benchmark, report):
     # (b) no observable pattern under the memory-lock attack.
     assert result.lock_is_invisible
     # Both programs still damage the clients (the point of Fig 11):
-    for program, run in result.runs.items():
-        drops = run.app.front.drops
-        assert drops > 0, f"{program} attack caused no damage"
+    for program, summary in result.summaries.items():
+        assert summary.front_drops > 0, (
+            f"{program} attack caused no damage"
+        )

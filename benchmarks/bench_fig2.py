@@ -11,8 +11,10 @@ from conftest import run_once
 from repro.experiments import run_fig2_both
 
 
-def bench_fig2_tail_amplification(benchmark, report):
-    ec2, private = run_once(benchmark, lambda: run_fig2_both())
+def bench_fig2_tail_amplification(benchmark, report, sweep_executor):
+    ec2, private = run_once(
+        benchmark, lambda: run_fig2_both(executor=sweep_executor)
+    )
     report("fig2", ec2.render() + "\n\n" + private.render())
     for result in (ec2, private):
         assert result.amplified(95), f"{result.environment}: no amplification"

@@ -11,8 +11,10 @@ from repro.experiments.fig3 import run_fig3_hypervisors
 from repro.hardware import EC2_E5_2680
 
 
-def bench_fig3_bandwidth_degradation(benchmark, report):
-    result = run_once(benchmark, run_fig3)
+def bench_fig3_bandwidth_degradation(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: run_fig3(executor=sweep_executor)
+    )
     report("fig3", result.render())
     assert result.finding1_single_attacker_insufficient()
     assert result.finding2_decreases_with_vms("same-package")
@@ -25,16 +27,21 @@ def bench_fig3_bandwidth_degradation(benchmark, report):
         )
 
 
-def bench_fig3_on_ec2_host(benchmark, report):
+def bench_fig3_on_ec2_host(benchmark, report, sweep_executor):
     """Same profiling on the EC2 host spec."""
-    result = run_once(benchmark, lambda: run_fig3(spec=EC2_E5_2680))
+    result = run_once(
+        benchmark,
+        lambda: run_fig3(spec=EC2_E5_2680, executor=sweep_executor),
+    )
     report("fig3_ec2", result.render())
     assert result.finding3_lock_beats_saturation()
 
 
-def bench_fig3_across_hypervisors(benchmark, report):
+def bench_fig3_across_hypervisors(benchmark, report, sweep_executor):
     """Section III cross-platform check: KVM/Xen/VMware/Hyper-V agree."""
-    results = run_once(benchmark, run_fig3_hypervisors)
+    results = run_once(
+        benchmark, lambda: run_fig3_hypervisors(executor=sweep_executor)
+    )
     text = "\n\n".join(
         f"--- {name} ---\n{result.render()}"
         for name, result in results.items()

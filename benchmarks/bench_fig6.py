@@ -10,8 +10,10 @@ from repro.analysis import format_series
 from repro.experiments import run_fig6
 
 
-def bench_fig6_cross_tier_queue_overflow(benchmark, report):
-    result = run_once(benchmark, run_fig6)
+def bench_fig6_cross_tier_queue_overflow(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: run_fig6(executor=sweep_executor)
+    )
     lines = [result.render(), ""]
     for tier in result.scenario.tier_names:
         series = result.attack[tier]

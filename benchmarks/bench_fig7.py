@@ -10,8 +10,10 @@ from conftest import run_once
 from repro.experiments import run_fig7
 
 
-def bench_fig7_tail_amplification_models(benchmark, report):
-    result = run_once(benchmark, run_fig7)
+def bench_fig7_tail_amplification_models(benchmark, report, sweep_executor):
+    result = run_once(
+        benchmark, lambda: run_fig7(executor=sweep_executor)
+    )
     report("fig7", result.render())
     assert result.tandem_curves_overlap()
     assert result.amplification_without_drops()

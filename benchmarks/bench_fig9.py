@@ -11,10 +11,13 @@ from conftest import run_once
 from repro.experiments import PRIVATE_CLOUD, run_fig9
 
 
-def bench_fig9_damage_snapshot(benchmark, report):
+def bench_fig9_damage_snapshot(benchmark, report, sweep_executor):
     scenario = replace(PRIVATE_CLOUD, duration=40.0)
     result = run_once(
-        benchmark, lambda: run_fig9(scenario, window_start=16.0)
+        benchmark,
+        lambda: run_fig9(
+            scenario, window_start=16.0, executor=sweep_executor
+        ),
     )
     report("fig9", result.render())
     # (a) bursts every ~2 s for ~500 ms each.
@@ -27,3 +30,12 @@ def bench_fig9_damage_snapshot(benchmark, report):
     assert result.queues_propagate()
     # (d) clients perceive > 1 s response times in the window.
     assert result.client_peak() > 1.0
+    # The Fig 9 claim, asserted programmatically (not eyeballed):
+    # every >1 s request overlaps an attack burst or millibottleneck
+    # episode.  Regeneration fails if attribution coverage < 100%.
+    attribution = result.summary.attribution
+    assert attribution is not None and attribution.slow_requests > 0
+    assert attribution.coverage == 1.0, (
+        f"only {attribution.attributed}/{attribution.slow_requests} "
+        "slow requests attributed to a burst/episode"
+    )

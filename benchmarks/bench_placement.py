@@ -12,11 +12,14 @@ from conftest import run_once
 from repro.experiments import run_placement_study
 
 
-def bench_placement_campaigns(benchmark, report):
+def bench_placement_campaigns(benchmark, report, sweep_executor):
     study = run_once(
         benchmark,
         lambda: run_placement_study(
-            zone_sizes=(10, 20, 40), strategies=("random",), trials=5
+            zone_sizes=(10, 20, 40),
+            strategies=("random",),
+            trials=5,
+            executor=sweep_executor,
         ),
     )
     report("placement", study.render())

@@ -1,0 +1,165 @@
+"""Sweep-engine wall-clock benchmark (the parallel fan-out tentpole).
+
+For each selected experiment, regenerates the figure three ways through
+the sweep engine and reports wall-clock:
+
+* **serial** — ``max_workers=1``, no cache (the pre-engine behavior);
+* **parallel cold** — a process pool over an empty content-addressed
+  cache (what a first regeneration on a multi-core box pays);
+* **warm** — the same cache again (what every later regeneration pays:
+  pure pickle reads, zero simulations — asserted).
+
+Parallel speedup is only observable with real cores; the report records
+``cpu_count`` so a 1-core CI box's numbers are not mistaken for the
+engine's ceiling.  The warm-cache row is hardware-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py           # full
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick   # CI smoke
+
+Results land in ``benchmarks/results/BENCH_sweep.json`` (or
+``BENCH_sweep_quick.json`` with ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
+
+#: Experiments measured by default: a closed-loop RUBBoS pair (fig2),
+#: a model-mode triple (fig7), the MVA population sweep (capacity), and
+#: the 24-cell bandwidth grid (fig3).
+DEFAULT_EXPERIMENTS = ("fig2", "fig7", "capacity", "fig3")
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    with contextlib.redirect_stdout(io.StringIO()):
+        fn()
+    return time.perf_counter() - t0
+
+
+def measure_experiment(
+    name: str, runner, quick: bool, workers: int, cache_root: str
+) -> dict:
+    from repro.experiments.parallel import RunCache, SweepExecutor
+
+    cache_dir = os.path.join(cache_root, name)
+
+    serial = SweepExecutor(max_workers=1, cache=None)
+    serial_wall = _timed(lambda: runner(serial, quick))
+
+    cold = SweepExecutor(
+        max_workers=workers, cache=RunCache(cache_dir)
+    )
+    cold_wall = _timed(lambda: runner(cold, quick))
+
+    warm = SweepExecutor(
+        max_workers=workers, cache=RunCache(cache_dir)
+    )
+    warm_wall = _timed(lambda: runner(warm, quick))
+    assert warm.stats.simulated == 0, (
+        f"{name}: warm regeneration re-simulated "
+        f"{warm.stats.simulated} of {warm.stats.cells} cells"
+    )
+    return {
+        "cells": serial.stats.cells,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_cold_wall_seconds": round(cold_wall, 3),
+        "cold_speedup": round(serial_wall / cold_wall, 3),
+        "warm_wall_seconds": round(warm_wall, 3),
+        "warm_speedup": round(serial_wall / warm_wall, 1),
+        "warm_simulated": warm.stats.simulated,
+        "warm_cached": warm.stats.cached,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunk scenario durations/grids (CI smoke)",
+    )
+    parser.add_argument(
+        "--workers", type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="pool size for the parallel rows (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--experiments", nargs="+", default=list(DEFAULT_EXPERIMENTS),
+        help=f"experiments to measure (default: {DEFAULT_EXPERIMENTS})",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    from repro.cli import _sweep_experiments
+
+    runners = _sweep_experiments()
+    unknown = [n for n in args.experiments if n not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    report = {
+        "kind": "sweep-benchmark",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "experiments": {},
+    }
+    if (os.cpu_count() or 1) < 2:
+        report["note"] = (
+            "single-core host: the process pool only adds overhead "
+            "here, so cold_speedup < 1 is expected — parallel speedup "
+            "needs real cores; warm_speedup is hardware-independent"
+        )
+    cache_root = tempfile.mkdtemp(prefix="bench-sweep-cache-")
+    try:
+        for name in args.experiments:
+            result = measure_experiment(
+                name, runners[name], args.quick, args.workers, cache_root
+            )
+            report["experiments"][name] = result
+            print(
+                f"{name:10s} {result['cells']:3d} cells: "
+                f"serial {result['serial_wall_seconds']:7.2f}s | "
+                f"parallel cold {result['parallel_cold_wall_seconds']:7.2f}s "
+                f"({result['cold_speedup']:.2f}x) | "
+                f"warm {result['warm_wall_seconds']:7.3f}s "
+                f"({result['warm_speedup']:g}x, "
+                f"{result['warm_simulated']} simulated)"
+            )
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    out = args.out or os.path.join(
+        RESULTS_DIR,
+        "BENCH_sweep_quick.json" if args.quick else "BENCH_sweep.json",
+    )
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

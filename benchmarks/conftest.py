@@ -10,7 +10,25 @@ import os
 
 import pytest
 
+from repro.experiments.parallel import RunCache, SweepExecutor
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def sweep_executor():
+    """The sweep executor every figure bench routes its runs through.
+
+    Defaults to serial/uncached so benchmark timings measure the
+    simulations themselves.  ``REPRO_SWEEP_WORKERS=N`` fans the cells
+    across N processes; ``REPRO_SWEEP_CACHE=DIR`` adds the
+    content-addressed run cache (a second bench run then times pure
+    cache reads).
+    """
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+    cache_dir = os.environ.get("REPRO_SWEEP_CACHE")
+    cache = RunCache(cache_dir) if cache_dir else None
+    return SweepExecutor(max_workers=workers, cache=cache)
 
 
 @pytest.fixture

@@ -5,12 +5,15 @@
 ``python -m repro all`` runs the full evaluation;
 ``python -m repro trace fig9`` runs a scenario with the span tracer on,
 dumps JSONL spans + a Chrome trace_event file, and prints the
-root-cause attribution report (the programmatic Fig 9).
+root-cause attribution report (the programmatic Fig 9);
+``python -m repro sweep fig2 --workers 4`` regenerates a figure through
+the parallel sweep engine with content-addressed run caching.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -146,6 +149,145 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _sweep_experiments() -> Dict[str, Callable]:
+    """Experiment name -> ``fn(executor, quick) -> printable text``.
+
+    Every entry here routes its simulations through the given
+    :class:`~repro.experiments.parallel.SweepExecutor`, so workers and
+    the run cache apply.  ``quick`` shrinks durations/grids for CI
+    smoke runs (a quick run is a *different* cache universe — the
+    shrunk scenarios hash differently).
+    """
+    from .experiments.configs import PRIVATE_CLOUD
+
+    def fig2(executor, quick):
+        ec2, private = run_fig2_both(
+            duration=10.0 if quick else None, executor=executor
+        )
+        return ec2.render() + "\n\n" + private.render()
+
+    def ablation(executor, quick):
+        duration = 25.0 if quick else 45.0
+        parts = [
+            sweep_burst_length(executor=executor).render(),
+            sweep_interval(executor=executor).render(),
+            sweep_degradation(executor=executor).render(),
+            condition1_ablation(executor=executor).render(),
+            rpc_vs_tandem(executor=executor).render(),
+            compare_attack_programs(
+                duration=duration, executor=executor
+            ).render(),
+            sweep_target_tier(duration=duration, executor=executor).render(),
+            sweep_service_distribution(
+                duration=duration, executor=executor
+            ).render(),
+            dual_tier_attack(duration=duration, executor=executor).render(),
+        ]
+        return "\n\n".join(parts)
+
+    def baselines(executor, quick):
+        scenario = (
+            replace(PRIVATE_CLOUD, duration=30.0) if quick else None
+        )
+        return run_baseline_comparison(
+            scenario, executor=executor
+        ).render()
+
+    return {
+        "fig2": fig2,
+        "fig3": lambda ex, quick: run_fig3(
+            max_vms=3 if quick else 6, executor=ex
+        ).render(),
+        "fig6": lambda ex, quick: run_fig6(executor=ex).render(),
+        "fig7": lambda ex, quick: run_fig7(executor=ex).render(),
+        "fig9": lambda ex, quick: run_fig9(
+            duration=30.0 if quick else None, executor=ex
+        ).render(),
+        "fig11": lambda ex, quick: run_fig11(
+            duration=30.0 if quick else None, executor=ex
+        ).render(),
+        "ablation": ablation,
+        "capacity": lambda ex, quick: run_capacity_validation(
+            duration=15.0 if quick else 40.0, executor=ex
+        ).render(),
+        "baselines": baselines,
+        "placement": lambda ex, quick: run_placement_study(
+            trials=2 if quick else 5, executor=ex
+        ).render(),
+        "defense": lambda ex, quick: run_defense(executor=ex).render(),
+    }
+
+
+def _append_sweep_record(path: str, record: Dict) -> None:
+    """Merge one sweep-run record into a ``{"runs": [...]}`` JSON file."""
+    data: Dict = {}
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data.setdefault("runs", []).append(record)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def _run_sweep(args) -> int:
+    """The ``sweep`` subcommand: executor-routed figure regeneration."""
+    from .experiments.parallel import RunCache, SweepExecutor
+
+    sweeps = _sweep_experiments()
+    if args.scenario is None or args.scenario not in sweeps:
+        known = ", ".join(sorted(sweeps))
+        print(
+            f"sweep needs an experiment name (one of: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    executor = SweepExecutor(max_workers=args.workers, cache=cache)
+    started = time.time()
+    print(sweeps[args.scenario](executor, args.quick))
+    total = time.time() - started
+    stats = executor.stats
+    print(
+        f"[sweep {args.scenario}: {stats.cells} cells, "
+        f"{stats.simulated} simulated, {stats.cached} cached, "
+        f"workers={executor.max_workers}, "
+        f"cache={'off' if cache is None else args.cache_dir}, "
+        f"{total:.1f}s]"
+    )
+    if args.json:
+        _append_sweep_record(
+            args.json,
+            {
+                "experiment": args.scenario,
+                "quick": bool(args.quick),
+                "workers": executor.max_workers,
+                "cpu_count": os.cpu_count(),
+                "cache": None if cache is None else args.cache_dir,
+                "cells": stats.cells,
+                "simulated": stats.simulated,
+                "cached": stats.cached,
+                "sweep_wall_seconds": round(stats.wall_seconds, 3),
+                "total_seconds": round(total, 3),
+            },
+        )
+    if args.expect_cached and stats.simulated:
+        print(
+            f"--expect-cached: {stats.simulated} of {stats.cells} cells "
+            "were re-simulated instead of served from the cache",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: Scenario names accepted by ``python -m repro trace <scenario>``.
 def _trace_scenarios() -> Dict[str, object]:
     from .experiments.configs import EC2_CLOUD, PRIVATE_CLOUD
@@ -242,13 +384,19 @@ def main(argv=None) -> int:
         "experiment",
         nargs="?",
         default="list",
-        help="experiment name, 'all', 'list' (default), or 'trace'",
+        help=(
+            "experiment name, 'all', 'list' (default), 'trace', "
+            "or 'sweep'"
+        ),
     )
     parser.add_argument(
         "scenario",
         nargs="?",
         default=None,
-        help="scenario name for 'trace' (fig9, fig2, private-cloud, ec2)",
+        help=(
+            "scenario name for 'trace' (fig9, fig2, private-cloud, ec2) "
+            "or experiment name for 'sweep'"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -279,10 +427,44 @@ def main(argv=None) -> int:
         default=1,
         help="trace every n-th request (1 = all)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep process-pool size (default: CPU count; 1 = inline)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the sweep run cache (always simulate)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="sweep run-cache directory (default: .sweep-cache)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sweep durations/grids for smoke runs",
+    )
+    parser.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="exit nonzero if any sweep cell had to be re-simulated",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="append a sweep stats record to this JSON file",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
         return _run_trace(args)
+
+    if args.experiment == "sweep":
+        return _run_sweep(args)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -293,6 +475,10 @@ def main(argv=None) -> int:
         print(
             f"  {'trace <scenario>'.ljust(width)}  traced run + span "
             "dumps + root-cause attribution"
+        )
+        print(
+            f"  {'sweep <experiment>'.ljust(width)}  parallel + cached "
+            "regeneration (--workers N, --no-cache)"
         )
         return 0
 

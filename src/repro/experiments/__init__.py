@@ -43,6 +43,16 @@ from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
 from .overhead import OverheadPoint, OverheadResult, run_overhead_study
+from .parallel import (
+    CELL_KINDS,
+    RunCache,
+    SweepCell,
+    SweepExecutor,
+    SweepStats,
+    code_version_token,
+    execute_cell,
+    stable_hash,
+)
 from .placement import (
     PlacementStudy,
     PlacementStudyRow,
@@ -57,6 +67,13 @@ from .runner import (
     run_model,
     run_rubbos,
 )
+from .summary import (
+    AttributionCounts,
+    RunSummary,
+    completed_after_warmup,
+    summarize_model,
+    summarize_rubbos,
+)
 from .validation import (
     BurstMeasurement,
     ValidationResult,
@@ -67,9 +84,11 @@ from .validation import (
 
 __all__ = [
     "AttackSpec",
+    "AttributionCounts",
     "BaselineComparison",
     "BaselineRow",
     "BurstMeasurement",
+    "CELL_KINDS",
     "CapacityPoint",
     "CapacityResult",
     "ControllerResult",
@@ -95,13 +114,22 @@ __all__ = [
     "PlacementStudyRow",
     "RubbosRun",
     "RubbosScenario",
+    "RunCache",
+    "RunSummary",
+    "SweepCell",
+    "SweepExecutor",
     "SweepPoint",
     "SweepResult",
+    "SweepStats",
     "ValidationResult",
     "ValidationRow",
+    "code_version_token",
     "compare_attack_programs",
+    "completed_after_warmup",
     "condition1_ablation",
     "dual_tier_attack",
+    "execute_cell",
+    "stable_hash",
     "make_attack_program",
     "measure_bandwidth_scenario",
     "measure_bursts",
@@ -126,6 +154,8 @@ __all__ = [
     "run_placement_study",
     "run_rubbos",
     "run_validation",
+    "summarize_model",
+    "summarize_rubbos",
     "sweep_burst_length",
     "sweep_degradation",
     "sweep_interval",

@@ -21,6 +21,7 @@ from ..analysis.report import format_table
 from ..model.parameters import AttackBurst, ModelError
 from ..model.attack_model import analyze
 from .configs import MODEL_3TIER, ModelScenario, model_system
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 from .runner import run_model
 
 __all__ = [
@@ -78,6 +79,48 @@ class SweepResult:
         )
 
 
+def model_point_cell(spec) -> SweepPoint:
+    """Sweep-cell entry point: one (scenario, label, mode) model point."""
+    scenario, label, mode = spec
+    return _measure_point(scenario, label, mode)
+
+
+def rubbos_point_cell(spec) -> SweepPoint:
+    """Sweep-cell entry point: one (scenario, label) RUBBoS point."""
+    scenario, label = spec
+    return _measure_rubbos_point(scenario, label)
+
+
+def distribution_cell(spec) -> SweepPoint:
+    """Sweep-cell entry point: one (distribution, duration) point."""
+    distribution, duration = spec
+    return _measure_distribution_point(distribution, duration)
+
+
+def dual_tier_cell(spec) -> SweepPoint:
+    """Sweep-cell entry point: one (targets, label, duration) case."""
+    targets, label, duration = spec
+    return _measure_dual_tier_point(targets, label, duration)
+
+
+def _model_points(
+    specs: Sequence[Tuple[ModelScenario, str, str]],
+    executor: Optional[SweepExecutor],
+) -> List[SweepPoint]:
+    return ensure_executor(executor).map(
+        [SweepCell.make("ablation-model-point", spec) for spec in specs]
+    )
+
+
+def _rubbos_points(
+    specs: Sequence[Tuple[object, str]],
+    executor: Optional[SweepExecutor],
+) -> List[SweepPoint]:
+    return ensure_executor(executor).map(
+        [SweepCell.make("ablation-rubbos-point", spec) for spec in specs]
+    )
+
+
 def _measure_point(
     scenario: ModelScenario, label: str, mode: str = "attack-finite"
 ) -> SweepPoint:
@@ -107,52 +150,73 @@ def _measure_point(
 def sweep_burst_length(
     lengths: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
     scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Longer bursts: more damage per burst, longer millibottleneck."""
-    points = []
+    specs = []
     for length in lengths:
         burst = AttackBurst(
             D=scenario.burst.D, L=length, I=scenario.burst.I
         )
-        variant = replace(scenario, burst=burst)
-        points.append(_measure_point(variant, f"L={length * 1e3:.0f}ms"))
-    return SweepResult("Ablation: burst length L (damage vs stealth)", points)
+        specs.append(
+            (
+                replace(scenario, burst=burst),
+                f"L={length * 1e3:.0f}ms",
+                "attack-finite",
+            )
+        )
+    return SweepResult(
+        "Ablation: burst length L (damage vs stealth)",
+        _model_points(specs, executor),
+    )
 
 
 def sweep_interval(
     intervals: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Longer intervals dilute rho = P_D / I."""
-    points = []
+    specs = []
     for interval in intervals:
         burst = AttackBurst(
             D=scenario.burst.D, L=scenario.burst.L, I=interval
         )
-        variant = replace(scenario, burst=burst)
-        points.append(_measure_point(variant, f"I={interval:g}s"))
-    return SweepResult("Ablation: burst interval I (rho dilution)", points)
+        specs.append(
+            (replace(scenario, burst=burst), f"I={interval:g}s",
+             "attack-finite")
+        )
+    return SweepResult(
+        "Ablation: burst interval I (rho dilution)",
+        _model_points(specs, executor),
+    )
 
 
 def sweep_degradation(
     degradations: Sequence[float] = (0.05, 0.1, 0.3, 0.6),
     scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Condition 2: damage vanishes once C_on exceeds lambda.
 
     With lambda=300 and C_off=600, the threshold is D=0.5: above it the
     degraded bottleneck still keeps up and queues never fill.
     """
-    points = []
+    specs = []
     for d in degradations:
         burst = AttackBurst(D=d, L=scenario.burst.L, I=scenario.burst.I)
-        variant = replace(scenario, burst=burst)
-        points.append(_measure_point(variant, f"D={d:g}"))
-    return SweepResult("Ablation: degradation index D (Condition 2)", points)
+        specs.append(
+            (replace(scenario, burst=burst), f"D={d:g}", "attack-finite")
+        )
+    return SweepResult(
+        "Ablation: degradation index D (Condition 2)",
+        _model_points(specs, executor),
+    )
 
 
 def condition1_ablation(
     scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Queue ordering Q1 > Q2 > Q3 vs. an inverted back-heavy ordering.
 
@@ -173,21 +237,30 @@ def condition1_ablation(
     q_i = inverted.queue_sizes
     return SweepResult(
         "Ablation: Condition 1 (queue-size ordering)",
-        [
-            _measure_point(ordered, f"Q={q_o} ordered"),
-            _measure_point(inverted, f"Q={q_i} inverted"),
-        ],
+        _model_points(
+            [
+                (ordered, f"Q={q_o} ordered", "attack-finite"),
+                (inverted, f"Q={q_i} inverted", "attack-finite"),
+            ],
+            executor,
+        ),
     )
 
 
-def rpc_vs_tandem(scenario: ModelScenario = MODEL_3TIER) -> SweepResult:
+def rpc_vs_tandem(
+    scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
     """The amplification mechanism: synchronous RPC vs tandem stations."""
     return SweepResult(
         "Ablation: inter-tier coupling (sync RPC vs tandem)",
-        [
-            _measure_point(scenario, "sync RPC, finite queues"),
-            _measure_point(scenario, "tandem stations", mode="tandem"),
-        ],
+        _model_points(
+            [
+                (scenario, "sync RPC, finite queues", "attack-finite"),
+                (scenario, "tandem stations", "tandem"),
+            ],
+            executor,
+        ),
     )
 
 
@@ -211,7 +284,10 @@ def _measure_rubbos_point(scenario, label: str) -> SweepPoint:
     )
 
 
-def compare_attack_programs(duration: float = 45.0) -> SweepResult:
+def compare_attack_programs(
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
     """All three attack programs at equal burst schedules.
 
     Lock (scheduling-based contention) should dominate; bus saturation
@@ -221,7 +297,7 @@ def compare_attack_programs(duration: float = 45.0) -> SweepResult:
     """
     from .configs import PRIVATE_CLOUD  # local import: avoids a cycle
 
-    points = []
+    specs = []
     for program, adversaries in (
         ("lock", 1), ("saturate", 4), ("cleanse", 4)
     ):
@@ -235,32 +311,18 @@ def compare_attack_programs(duration: float = 45.0) -> SweepResult:
                 adversaries=adversaries,
             ),
         )
-        points.append(
-            _measure_rubbos_point(
-                scenario, f"{program} x{adversaries} VM(s)"
-            )
-        )
-    return SweepResult("Ablation: attack program comparison", points)
+        specs.append((scenario, f"{program} x{adversaries} VM(s)"))
+    return SweepResult(
+        "Ablation: attack program comparison",
+        _rubbos_points(specs, executor),
+    )
 
 
-def sweep_service_distribution(duration: float = 45.0) -> SweepResult:
-    """Does tail amplification survive non-exponential demands?
-
-    The closed-form model assumes exponential service; the attack
-    mechanism (queue overflow + thread pinning + TCP drops) does not
-    care about the service law.  This sweep re-runs the headline
-    scenario with deterministic, exponential, lognormal, and Pareto
-    demands at equal means.
-    """
+def _measure_distribution_point(distribution, duration: float) -> SweepPoint:
+    """Run the headline scenario under one service-demand distribution."""
     from dataclasses import replace as _replace
 
     from ..sim.rng import RandomStreams
-    from ..workload.distributions import (
-        BoundedPareto,
-        Deterministic,
-        Exponential,
-        LogNormal,
-    )
     from ..workload.rubbos import RubbosWorkload
     from ..ntier.client import UserPopulation
     from ..cloud.platform import CloudDeployment, rubbos_3tier
@@ -270,67 +332,166 @@ def sweep_service_distribution(duration: float = 45.0) -> SweepResult:
     from .configs import PRIVATE_CLOUD
 
     scenario = _replace(PRIVATE_CLOUD, duration=duration)
-    points = []
-    for distribution in (
+    streams = RandomStreams(scenario.seed)
+    sim = Simulator()
+    deployment = CloudDeployment(
+        sim,
+        rubbos_3tier(
+            apache_threads=scenario.apache_threads,
+            apache_backlog=scenario.apache_backlog,
+            tomcat_threads=scenario.tomcat_threads,
+            mysql_connections=scenario.mysql_connections,
+            host_spec=scenario.host_spec,
+        ),
+    )
+    workload = RubbosWorkload(
+        rng=streams.get("workload"), distribution=distribution
+    )
+    UserPopulation(
+        sim, deployment.app, workload.make_request,
+        users=scenario.users, think_time=scenario.think_time,
+        rng=streams.get("users"),
+    ).start()
+    monitor = UtilizationMonitor(
+        sim, deployment.vm("mysql").cpu, interval=0.05
+    )
+    monitor.start()
+    spec = scenario.attack
+    MemCAAttack(
+        sim, deployment,
+        length=spec.length, interval=spec.interval,
+        intensity=spec.intensity, jitter=spec.jitter,
+        rng=streams.get("attack"),
+    ).launch()
+    sim.run(until=scenario.duration)
+    requests = [
+        r for r in deployment.app.completed
+        if r.t_done is not None and r.t_done >= scenario.warmup
+    ]
+    rts = np.array([r.response_time for r in requests])
+    return SweepPoint(
+        label=distribution.name,
+        client_p95=float(np.percentile(rts, 95)),
+        client_p99=float(np.percentile(rts, 99)),
+        fraction_above_rto=float(np.mean(rts > 1.0)),
+        drops=deployment.app.front.drops,
+        mean_mysql_util=monitor.series.mean(),
+        predicted_rho=None,
+    )
+
+
+def sweep_service_distribution(
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
+    """Does tail amplification survive non-exponential demands?
+
+    The closed-form model assumes exponential service; the attack
+    mechanism (queue overflow + thread pinning + TCP drops) does not
+    care about the service law.  This sweep re-runs the headline
+    scenario with deterministic, exponential, lognormal, and Pareto
+    demands at equal means.
+    """
+    from ..workload.distributions import (
+        BoundedPareto,
+        Deterministic,
+        Exponential,
+        LogNormal,
+    )
+
+    distributions = (
         Deterministic(),
         Exponential(),
         LogNormal(sigma=1.0),
         BoundedPareto(alpha=1.8),
-    ):
-        streams = RandomStreams(scenario.seed)
-        sim = Simulator()
-        deployment = CloudDeployment(
-            sim,
-            rubbos_3tier(
-                apache_threads=scenario.apache_threads,
-                apache_backlog=scenario.apache_backlog,
-                tomcat_threads=scenario.tomcat_threads,
-                mysql_connections=scenario.mysql_connections,
-                host_spec=scenario.host_spec,
-            ),
-        )
-        workload = RubbosWorkload(
-            rng=streams.get("workload"), distribution=distribution
-        )
-        UserPopulation(
-            sim, deployment.app, workload.make_request,
-            users=scenario.users, think_time=scenario.think_time,
-            rng=streams.get("users"),
-        ).start()
-        monitor = UtilizationMonitor(
-            sim, deployment.vm("mysql").cpu, interval=0.05
-        )
-        monitor.start()
-        spec = scenario.attack
-        MemCAAttack(
-            sim, deployment,
-            length=spec.length, interval=spec.interval,
-            intensity=spec.intensity, jitter=spec.jitter,
-            rng=streams.get("attack"),
-        ).launch()
-        sim.run(until=scenario.duration)
-        requests = [
-            r for r in deployment.app.completed
-            if r.t_done is not None and r.t_done >= scenario.warmup
-        ]
-        rts = np.array([r.response_time for r in requests])
-        points.append(
-            SweepPoint(
-                label=distribution.name,
-                client_p95=float(np.percentile(rts, 95)),
-                client_p99=float(np.percentile(rts, 99)),
-                fraction_above_rto=float(np.mean(rts > 1.0)),
-                drops=deployment.app.front.drops,
-                mean_mysql_util=monitor.series.mean(),
-                predicted_rho=None,
+    )
+    points = ensure_executor(executor).map(
+        [
+            SweepCell.make(
+                "ablation-distribution", (distribution, duration)
             )
-        )
+            for distribution in distributions
+        ]
+    )
     return SweepResult(
         "Ablation: service-demand distribution (equal means)", points
     )
 
 
-def dual_tier_attack(duration: float = 45.0) -> SweepResult:
+def _measure_dual_tier_point(
+    targets, label: str, duration: float
+) -> SweepPoint:
+    """Run one multi-adversary case; targets = ((tier, intensity, phase),)."""
+    from dataclasses import replace as _replace
+
+    from ..core.attack import MemCAAttack
+    from ..monitoring.sampler import UtilizationMonitor
+    from ..sim.rng import RandomStreams
+    from ..sim.core import Simulator
+    from ..ntier.client import UserPopulation
+    from ..cloud.platform import CloudDeployment, rubbos_3tier
+    from ..workload.rubbos import RubbosWorkload
+    from .configs import PRIVATE_CLOUD
+
+    scenario = _replace(PRIVATE_CLOUD, duration=duration)
+    streams = RandomStreams(scenario.seed)
+    sim = Simulator()
+    deployment = CloudDeployment(
+        sim,
+        rubbos_3tier(
+            apache_threads=scenario.apache_threads,
+            apache_backlog=scenario.apache_backlog,
+            tomcat_threads=scenario.tomcat_threads,
+            mysql_connections=scenario.mysql_connections,
+            host_spec=scenario.host_spec,
+        ),
+    )
+    workload = RubbosWorkload(rng=streams.get("workload"))
+    UserPopulation(
+        sim, deployment.app, workload.make_request,
+        users=scenario.users, think_time=scenario.think_time,
+        rng=streams.get("users"),
+    ).start()
+    monitor = UtilizationMonitor(
+        sim, deployment.vm("mysql").cpu, interval=0.05
+    )
+    monitor.start()
+    for index, (tier, intensity, phase) in enumerate(targets):
+        attack = MemCAAttack(
+            sim, deployment,
+            length=scenario.attack.length,
+            interval=scenario.attack.interval,
+            intensity=intensity,
+            target_tier=tier,
+            adversary_name=f"adversary-{tier}",
+            jitter=scenario.attack.jitter,
+            rng=streams.get(f"attack-{index}"),
+        )
+        if phase > 0:
+            sim.call_in(phase, attack.launch)
+        else:
+            attack.launch()
+    sim.run(until=scenario.duration)
+    requests = [
+        r for r in deployment.app.completed
+        if r.t_done is not None and r.t_done >= scenario.warmup
+    ]
+    rts = np.array([r.response_time for r in requests])
+    return SweepPoint(
+        label=label,
+        client_p95=float(np.percentile(rts, 95)),
+        client_p99=float(np.percentile(rts, 99)),
+        fraction_above_rto=float(np.mean(rts > 1.0)),
+        drops=deployment.app.front.drops,
+        mean_mysql_util=monitor.series.mean(),
+        predicted_rho=None,
+    )
+
+
+def dual_tier_attack(
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
     """Can attack intensity be *split* across tiers?  (No.)
 
     "A MemCA attack only requires one or a few adversary VMs co-located
@@ -344,95 +505,36 @@ def dual_tier_attack(duration: float = 45.0) -> SweepResult:
     contrast, doubles the damaged fraction (two millibottlenecks per
     interval).
     """
-    from dataclasses import replace as _replace
-
-    from ..core.attack import MemCAAttack
-    from ..monitoring.sampler import UtilizationMonitor
-    from ..sim.rng import RandomStreams
-    from ..sim.core import Simulator
-    from ..ntier.client import UserPopulation
-    from ..cloud.platform import CloudDeployment, rubbos_3tier
-    from ..workload.rubbos import RubbosWorkload
     from .configs import PRIVATE_CLOUD
 
-    scenario = _replace(PRIVATE_CLOUD, duration=duration)
-
-    def run_case(targets):
-        streams = RandomStreams(scenario.seed)
-        sim = Simulator()
-        deployment = CloudDeployment(
-            sim,
-            rubbos_3tier(
-                apache_threads=scenario.apache_threads,
-                apache_backlog=scenario.apache_backlog,
-                tomcat_threads=scenario.tomcat_threads,
-                mysql_connections=scenario.mysql_connections,
-                host_spec=scenario.host_spec,
-            ),
-        )
-        workload = RubbosWorkload(rng=streams.get("workload"))
-        UserPopulation(
-            sim, deployment.app, workload.make_request,
-            users=scenario.users, think_time=scenario.think_time,
-            rng=streams.get("users"),
-        ).start()
-        monitor = UtilizationMonitor(
-            sim, deployment.vm("mysql").cpu, interval=0.05
-        )
-        monitor.start()
-        for index, (tier, intensity, phase) in enumerate(targets):
-            attack = MemCAAttack(
-                sim, deployment,
-                length=scenario.attack.length,
-                interval=scenario.attack.interval,
-                intensity=intensity,
-                target_tier=tier,
-                adversary_name=f"adversary-{tier}",
-                jitter=scenario.attack.jitter,
-                rng=streams.get(f"attack-{index}"),
-            )
-            if phase > 0:
-                sim.call_in(phase, attack.launch)
-            else:
-                attack.launch()
-        sim.run(until=scenario.duration)
-        requests = [
-            r for r in deployment.app.completed
-            if r.t_done is not None and r.t_done >= scenario.warmup
-        ]
-        rts = np.array([r.response_time for r in requests])
-        return SweepPoint(
-            label="+".join(t for t, _i, _p in targets),
-            client_p95=float(np.percentile(rts, 95)),
-            client_p99=float(np.percentile(rts, 99)),
-            fraction_above_rto=float(np.mean(rts > 1.0)),
-            drops=deployment.app.front.drops,
-            mean_mysql_util=monitor.series.mean(),
-            predicted_rho=None,
-        )
-
-    def labelled(point: SweepPoint, label: str) -> SweepPoint:
-        return SweepPoint(**{**point.__dict__, "label": label})
-
-    half = scenario.attack.interval / 2.0
-    points = [
-        labelled(run_case([("mysql", 1.0, 0.0)]), "mysql @ full"),
-        labelled(
-            run_case([("mysql", 1.0, 0.0), ("tomcat", 1.0, half)]),
+    half = PRIVATE_CLOUD.attack.interval / 2.0
+    cases = [
+        ((("mysql", 1.0, 0.0),), "mysql @ full"),
+        (
+            (("mysql", 1.0, 0.0), ("tomcat", 1.0, half)),
             "mysql+tomcat @ full, staggered",
         ),
-        labelled(
-            run_case([("mysql", 0.55, 0.0), ("tomcat", 0.55, half)]),
+        (
+            (("mysql", 0.55, 0.0), ("tomcat", 0.55, half)),
             "mysql+tomcat @ 0.55 (split)",
         ),
     ]
+    points = ensure_executor(executor).map(
+        [
+            SweepCell.make("ablation-dual", (targets, label, duration))
+            for targets, label in cases
+        ]
+    )
     return SweepResult(
         "Ablation: multi-tier adversaries (intensity does not split)",
         points,
     )
 
 
-def sweep_target_tier(duration: float = 45.0) -> SweepResult:
+def sweep_target_tier(
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
     """Attack each tier's host in turn (threat model: any critical-path
     VM is a target).
 
@@ -442,7 +544,7 @@ def sweep_target_tier(duration: float = 45.0) -> SweepResult:
     """
     from .configs import PRIVATE_CLOUD  # local import: avoids a cycle
 
-    points = []
+    specs = []
     for tier in ("mysql", "tomcat", "apache"):
         scenario = replace(
             PRIVATE_CLOUD,
@@ -450,5 +552,8 @@ def sweep_target_tier(duration: float = 45.0) -> SweepResult:
             duration=duration,
             attack=replace(PRIVATE_CLOUD.attack, target_tier=tier),
         )
-        points.append(_measure_rubbos_point(scenario, f"target={tier}"))
-    return SweepResult("Ablation: which tier to co-locate with", points)
+        specs.append((scenario, f"target={tier}"))
+    return SweepResult(
+        "Ablation: which tier to co-locate with",
+        _rubbos_points(specs, executor),
+    )

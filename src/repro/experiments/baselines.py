@@ -31,6 +31,7 @@ from ..core.baselines import FloodingAttack, PulsatingAttack
 from ..monitoring.metrics import TimeSeries
 from ..monitoring.sampler import PeriodicSampler
 from .configs import PRIVATE_CLOUD, RubbosScenario
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 from .runner import RubbosRun, run_rubbos
 
 __all__ = ["BaselineRow", "BaselineComparison", "run_baseline_comparison"]
@@ -185,10 +186,22 @@ def _run_campaign(
     )
 
 
+def baseline_cell(spec) -> BaselineRow:
+    """Sweep-cell entry point: one (scenario, campaign) baseline run."""
+    scenario, campaign = spec
+    return _run_campaign(scenario, campaign)
+
+
 def run_baseline_comparison(
     scenario: Optional[RubbosScenario] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> BaselineComparison:
     """Run all four campaigns against identical deployments."""
     base = scenario or replace(PRIVATE_CLOUD, duration=80.0)
-    rows = [_run_campaign(base, campaign) for campaign in CAMPAIGNS]
+    rows = ensure_executor(executor).map(
+        [
+            SweepCell.make("baseline-campaign", (base, campaign))
+            for campaign in CAMPAIGNS
+        ]
+    )
     return BaselineComparison(scenario=base, rows=rows)

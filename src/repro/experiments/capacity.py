@@ -17,18 +17,27 @@ import numpy as np
 from ..analysis.report import format_table
 from ..model.mva import MvaResult, Station, mva, saturation_population
 from .configs import PRIVATE_CLOUD, RubbosScenario
-from .runner import run_rubbos
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 
 __all__ = ["CapacityPoint", "CapacityResult", "run_capacity_validation",
            "mva_stations_for"]
 
 
-def mva_stations_for(scenario: RubbosScenario, workload) -> List[Station]:
-    """MVA stations matching a RUBBoS scenario's workload means."""
+def mva_stations_for(scenario: RubbosScenario, demands) -> List[Station]:
+    """MVA stations matching a RUBBoS scenario's workload means.
+
+    ``demands`` is either a workload object exposing ``mean_demand(tier)``
+    or a plain ``{tier: mean demand}`` mapping (e.g. a
+    :class:`~repro.experiments.summary.RunSummary`'s ``mean_demands``).
+    """
+    if hasattr(demands, "mean_demand"):
+        mean_demand = demands.mean_demand
+    else:
+        mean_demand = demands.__getitem__
     return [
         Station(
             tier,
-            demand=workload.mean_demand(tier),
+            demand=mean_demand(tier),
             servers=2,  # each tier VM has 2 vCPUs in the scenarios
         )
         for tier in ("apache", "tomcat", "mysql")
@@ -94,36 +103,39 @@ def run_capacity_validation(
     scenario: Optional[RubbosScenario] = None,
     populations: Tuple[int, ...] = (1000, 2600, 4500),
     duration: float = 40.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> CapacityResult:
     """Run the no-attack baseline at several populations vs MVA."""
     base = scenario or PRIVATE_CLOUD
-    points = []
-    knee = 0.0
-    for users in populations:
-        variant = replace(
+    variants = [
+        replace(
             base,
             name=f"capacity/{users}",
             users=users,
             duration=duration,
             attack=None,
         )
-        run = run_rubbos(variant)
-        stations = mva_stations_for(variant, run.workload)
+        for users in populations
+    ]
+    summaries = ensure_executor(executor).map(
+        [SweepCell.make("rubbos", variant) for variant in variants]
+    )
+    points = []
+    knee = 0.0
+    for variant, summary in zip(variants, summaries):
+        stations = mva_stations_for(variant, summary.mean_demands)
         knee = saturation_population(stations, variant.think_time)
-        predicted = mva(stations, users, variant.think_time)
+        predicted = mva(stations, variant.users, variant.think_time)
         window = variant.duration - variant.warmup
-        requests = run.client_requests()
-        rts = np.array(
-            [r.response_time for r in requests
-             if r.response_time is not None]
-        )
-        mysql_util = run.util_monitors["mysql"].series.between(
+        rt_column = summary.requests["response_time"]
+        rts = rt_column[~np.isnan(rt_column)]
+        mysql_util = summary.util_series["mysql"].between(
             variant.warmup, variant.duration
         ).mean()
         points.append(
             CapacityPoint(
-                users=users,
-                measured_throughput=len(requests) / window,
+                users=variant.users,
+                measured_throughput=len(summary.requests) / window,
                 predicted_throughput=predicted.throughput,
                 measured_mysql_util=mysql_util,
                 predicted_mysql_util=predicted.utilizations["mysql"],

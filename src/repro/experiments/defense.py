@@ -26,7 +26,9 @@ from ..analysis.report import format_table
 from ..cloud.defense import MigrationEvent, MillibottleneckDefense
 from ..hardware.memory import MemorySubsystem
 from .configs import PRIVATE_CLOUD, RubbosScenario
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 from .runner import RubbosRun, run_rubbos
+from .summary import RunSummary, summarize_rubbos
 
 __all__ = ["DefenseResult", "run_defense"]
 
@@ -41,7 +43,7 @@ class DefenseResult:
     timeline: List[Tuple[float, float, int]]
     migrations: List[MigrationEvent]
     recolocations: List[float]
-    run: RubbosRun
+    summary: Optional[RunSummary]
 
     def p95_between(self, t0: float, t1: float) -> float:
         samples = [
@@ -74,25 +76,16 @@ class DefenseResult:
         )
 
 
-def run_defense(
-    scenario: Optional[RubbosScenario] = None,
-    window: float = 10.0,
-    recolocate_after: Optional[float] = None,
-    episodes_to_trigger: int = 8,
-) -> DefenseResult:
-    """Run MemCA against a defended deployment.
+def defense_cell(spec) -> DefenseResult:
+    """Sweep-cell entry point: one full defended run.
 
-    ``recolocate_after`` — seconds after each migration at which the
-    adversary manages to co-locate with the victim again (None: never).
+    The whole (picklable) :class:`DefenseResult` is assembled in the
+    worker; the live run stays behind, summarized.
     """
-    if scenario is None:
-        scenario = replace(
-            PRIVATE_CLOUD, name="private-cloud/defended", duration=120.0
-        )
-    run = run_rubbos_with_defense(
+    scenario, window, recolocate_after, episodes_to_trigger = spec
+    rubbos_run, defense, recolocations = run_rubbos_with_defense(
         scenario, recolocate_after, episodes_to_trigger
     )
-    rubbos_run, defense, recolocations = run
     timeline = []
     start = scenario.warmup
     while start + window <= scenario.duration:
@@ -112,7 +105,31 @@ def run_defense(
         timeline=timeline,
         migrations=defense.migrations,
         recolocations=recolocations,
-        run=rubbos_run,
+        summary=summarize_rubbos(rubbos_run),
+    )
+
+
+def run_defense(
+    scenario: Optional[RubbosScenario] = None,
+    window: float = 10.0,
+    recolocate_after: Optional[float] = None,
+    episodes_to_trigger: int = 8,
+    executor: Optional[SweepExecutor] = None,
+) -> DefenseResult:
+    """Run MemCA against a defended deployment.
+
+    ``recolocate_after`` — seconds after each migration at which the
+    adversary manages to co-locate with the victim again (None: never).
+    """
+    if scenario is None:
+        scenario = replace(
+            PRIVATE_CLOUD, name="private-cloud/defended", duration=120.0
+        )
+    return ensure_executor(executor).run(
+        SweepCell.make(
+            "defense",
+            (scenario, window, recolocate_after, episodes_to_trigger),
+        )
     )
 
 

@@ -9,7 +9,7 @@ transient saturations finally visible).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..analysis.plot import ascii_timeseries
 from ..analysis.report import format_series, format_table
@@ -17,7 +17,9 @@ from ..cloud.autoscaling import AutoScalingPolicy, ScalingEvent
 from ..monitoring.metrics import TimeSeries
 from ..monitoring.sampler import GRANULARITIES
 from .configs import PRIVATE_CLOUD, RubbosScenario
-from .runner import RubbosRun, run_rubbos
+from .parallel import SweepCell, SweepExecutor, ensure_executor
+from .runner import RubbosRun
+from .summary import RunSummary, summarize_rubbos
 
 __all__ = ["Fig10Result", "run_fig10"]
 
@@ -30,7 +32,7 @@ class Fig10Result:
     views: Dict[str, TimeSeries]
     policy: AutoScalingPolicy
     scaling_events: List[ScalingEvent]
-    run: RubbosRun
+    summary: RunSummary
 
     @property
     def bypassed_autoscaling(self) -> bool:
@@ -85,17 +87,23 @@ class Fig10Result:
 def run_fig10(
     scenario: Optional[RubbosScenario] = None,
     policy: AutoScalingPolicy = AutoScalingPolicy(),
-    run: Optional[RubbosRun] = None,
+    run: Optional[Union[RubbosRun, RunSummary]] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig10Result:
     """Run a multi-minute attack and view it at three granularities."""
     if run is None:
         if scenario is None:
             # Long enough for meaningful 1-minute CloudWatch samples.
             scenario = replace(PRIVATE_CLOUD, duration=185.0)
-        run = run_rubbos(scenario)
+        summary = ensure_executor(executor).run(
+            SweepCell.make("rubbos", scenario)
+        )
+    elif isinstance(run, RunSummary):
+        summary = run
     else:
-        scenario = run.scenario
-    fine = run.util_monitors["mysql"].series.between(
+        summary = summarize_rubbos(run)
+    scenario = summary.scenario
+    fine = summary.util_series["mysql"].between(
         scenario.warmup, scenario.duration
     )
     views = {
@@ -109,5 +117,5 @@ def run_fig10(
         views=views,
         policy=policy,
         scaling_events=events,
-        run=run,
+        summary=summary,
     )

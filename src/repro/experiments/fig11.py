@@ -17,7 +17,8 @@ from ..analysis.report import format_table
 from ..cloud.detection import DetectionReport, PeriodicitySpikeDetector
 from ..monitoring.metrics import TimeSeries
 from .configs import PRIVATE_CLOUD, AttackSpec, RubbosScenario
-from .runner import RubbosRun, run_rubbos
+from .parallel import SweepCell, SweepExecutor, ensure_executor
+from .summary import RunSummary
 
 __all__ = ["Fig11Result", "run_fig11"]
 
@@ -29,7 +30,7 @@ class Fig11Result:
     scenario: RubbosScenario
     miss_series: Dict[str, TimeSeries]
     reports: Dict[str, DetectionReport]
-    runs: Dict[str, RubbosRun]
+    summaries: Dict[str, RunSummary]
 
     @property
     def saturation_leaves_signature(self) -> bool:
@@ -77,37 +78,50 @@ def run_fig11(
     scenario: RubbosScenario = PRIVATE_CLOUD,
     duration: Optional[float] = None,
     detector: Optional[PeriodicitySpikeDetector] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig11Result:
     """Run both attack programs with host-level LLC profiling."""
     detector = detector or PeriodicitySpikeDetector()
     if duration is not None:
         scenario = replace(scenario, duration=duration)
-    miss_series: Dict[str, TimeSeries] = {}
-    reports: Dict[str, DetectionReport] = {}
-    runs: Dict[str, RubbosRun] = {}
-    for program in ("saturate", "lock"):
-        assert scenario.attack is not None
+    assert scenario.attack is not None
+    programs = ("saturate", "lock")
+    variants = []
+    for program in programs:
         # Bus saturation needs a small fleet of adversary VMs to bite
         # (Section III finding 1); the lock attack needs just one.
         adversaries = 4 if program == "saturate" else 1
-        variant = replace(
-            scenario,
-            attack=replace(
-                scenario.attack, program=program, adversaries=adversaries
-            ),
-            name=f"{scenario.name}/{program}",
+        variants.append(
+            replace(
+                scenario,
+                attack=replace(
+                    scenario.attack,
+                    program=program,
+                    adversaries=adversaries,
+                ),
+                name=f"{scenario.name}/{program}",
+            )
         )
-        run = run_rubbos(variant, collect_llc=True)
-        assert run.llc_profiler is not None
-        series = run.llc_profiler.series.between(
+    results = ensure_executor(executor).map(
+        [
+            SweepCell.make("rubbos", variant, collect_llc=True)
+            for variant in variants
+        ]
+    )
+    miss_series: Dict[str, TimeSeries] = {}
+    reports: Dict[str, DetectionReport] = {}
+    summaries: Dict[str, RunSummary] = {}
+    for program, summary in zip(programs, results):
+        assert summary.llc_series is not None
+        series = summary.llc_series.between(
             scenario.warmup, scenario.duration
         )
         miss_series[program] = series
         reports[program] = detector.run(series)
-        runs[program] = run
+        summaries[program] = summary
     return Fig11Result(
         scenario=scenario,
         miss_series=miss_series,
         reports=reports,
-        runs=runs,
+        summaries=summaries,
     )

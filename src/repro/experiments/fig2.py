@@ -13,14 +13,11 @@ from typing import Dict, Optional, Tuple
 
 from ..analysis.plot import ascii_percentiles
 from ..analysis.report import format_percentile_curves
-from ..analysis.stats import (
-    PercentileCurve,
-    client_percentile_curve,
-    tier_percentile_curves,
-)
+from ..analysis.stats import PercentileCurve
 from ..core.attack import AttackEffect
 from .configs import EC2_CLOUD, PRIVATE_CLOUD, RubbosScenario
-from .runner import RubbosRun, run_rubbos
+from .parallel import SweepCell, SweepExecutor, ensure_executor
+from .summary import RunSummary
 
 __all__ = ["Fig2Result", "run_fig2", "run_fig2_both", "TIER_ORDER"]
 
@@ -38,7 +35,7 @@ class Fig2Result:
     environment: str
     curves: Dict[str, PercentileCurve]
     effect: Optional[AttackEffect]
-    run: RubbosRun
+    summary: RunSummary
 
     def render(self) -> str:
         body = format_percentile_curves(
@@ -61,33 +58,44 @@ class Fig2Result:
         ].at(percentile)
 
 
+def fig2_cell(scenario: RubbosScenario) -> SweepCell:
+    """The sweep cell for one Fig 2 panel."""
+    return SweepCell.make(
+        "rubbos", scenario, effect_percentiles=PERCENTILES
+    )
+
+
+def _result_from(summary: RunSummary) -> Fig2Result:
+    return Fig2Result(
+        environment=summary.scenario.name,
+        curves=summary.percentile_curves(PERCENTILES),
+        effect=summary.effect,
+        summary=summary,
+    )
+
+
 def run_fig2(
     scenario: RubbosScenario = PRIVATE_CLOUD,
     duration: Optional[float] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig2Result:
     """One environment's Fig 2 panel."""
     if duration is not None:
         scenario = replace(scenario, duration=duration)
-    run = run_rubbos(scenario)
-    requests = run.client_requests()
-    curves = tier_percentile_curves(
-        requests, ("apache", "tomcat", "mysql"), PERCENTILES
-    )
-    curves["client"] = client_percentile_curve(requests, PERCENTILES)
-    effect = (
-        run.attack.effect(percentiles=PERCENTILES)
-        if run.attack is not None
-        else None
-    )
-    return Fig2Result(
-        environment=scenario.name, curves=curves, effect=effect, run=run
-    )
+    summary = ensure_executor(executor).run(fig2_cell(scenario))
+    return _result_from(summary)
 
 
 def run_fig2_both(
     duration: Optional[float] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Tuple[Fig2Result, Fig2Result]:
     """Both panels: (a) Amazon EC2, (b) private cloud."""
-    ec2 = run_fig2(EC2_CLOUD, duration=duration)
-    private = run_fig2(PRIVATE_CLOUD, duration=duration)
+    scenarios = [EC2_CLOUD, PRIVATE_CLOUD]
+    if duration is not None:
+        scenarios = [replace(s, duration=duration) for s in scenarios]
+    summaries = ensure_executor(executor).map(
+        [fig2_cell(s) for s in scenarios]
+    )
+    ec2, private = (_result_from(s) for s in summaries)
     return ec2, private

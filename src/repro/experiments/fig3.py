@@ -25,6 +25,7 @@ from ..hardware.hypervisor import (
 )
 from ..hardware.memory import MemoryActivity, MemorySubsystem
 from ..hardware.topology import XEON_E5_2603_V3, CpuSpec, Host
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 
 __all__ = [
     "Fig3Result",
@@ -82,6 +83,26 @@ def measure_bandwidth_scenario(
         memory.set_activity(activity)
     measured = [memory.measured_bandwidth(name) for name in measurers]
     return sum(measured) / len(measured)
+
+
+def bandwidth_cell(
+    spec, hypervisor: str = "KVM", lock_duty: float = 0.9
+) -> float:
+    """Sweep-cell entry point: one (placement, attack, n, CpuSpec) point.
+
+    The hypervisor travels by name (profiles are module constants, not
+    part of the cell's content hash beyond the name).
+    """
+    placement, attack, n_vms, cpu = spec
+    profiles = {profile.name: profile for profile in ALL_HYPERVISORS}
+    return measure_bandwidth_scenario(
+        n_vms,
+        attack,
+        placement,
+        cpu,
+        lock_duty=lock_duty,
+        hypervisor=profiles[hypervisor],
+    )
 
 
 @dataclass
@@ -145,28 +166,35 @@ def run_fig3(
     spec: CpuSpec = XEON_E5_2603_V3,
     max_vms: int = 6,
     hypervisor: HypervisorProfile = KVM,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig3Result:
     """Sweep co-located VM counts for every placement/attack combo."""
+    grid = [
+        (placement, attack, n)
+        for placement in PLACEMENTS
+        for attack in ATTACKS
+        for n in range(1, max_vms + 1)
+    ]
+    values = ensure_executor(executor).map(
+        [
+            SweepCell.make(
+                "bandwidth",
+                (placement, attack, n, spec),
+                hypervisor=hypervisor.name,
+            )
+            for placement, attack, n in grid
+        ]
+    )
     series: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
-    for placement in PLACEMENTS:
-        for attack in ATTACKS:
-            points = []
-            for n in range(1, max_vms + 1):
-                points.append(
-                    (
-                        n,
-                        measure_bandwidth_scenario(
-                            n, attack, placement, spec,
-                            hypervisor=hypervisor,
-                        ),
-                    )
-                )
-            series[(placement, attack)] = points
+    for (placement, attack, n), bandwidth in zip(grid, values):
+        series.setdefault((placement, attack), []).append((n, bandwidth))
     return Fig3Result(spec=spec, series=series)
 
 
 def run_fig3_hypervisors(
-    spec: CpuSpec = XEON_E5_2603_V3, max_vms: int = 4
+    spec: CpuSpec = XEON_E5_2603_V3,
+    max_vms: int = 4,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Fig3Result]:
     """Section III's cross-platform check: repeat Fig 3 per hypervisor.
 
@@ -175,6 +203,8 @@ def run_fig3_hypervisors(
     findings hold under every profile.
     """
     return {
-        profile.name: run_fig3(spec, max_vms, hypervisor=profile)
+        profile.name: run_fig3(
+            spec, max_vms, hypervisor=profile, executor=executor
+        )
         for profile in ALL_HYPERVISORS
     }

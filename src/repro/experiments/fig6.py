@@ -11,7 +11,7 @@ closed-form queue trajectory of Eqs. 4-9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,15 +20,16 @@ from ..analysis.report import format_table
 from ..model.attack_model import queue_trajectory
 from ..monitoring.metrics import TimeSeries
 from .configs import MODEL_3TIER, ModelScenario, model_system
-from .runner import ModelRun, run_model
+from .parallel import SweepCell, SweepExecutor, ensure_executor
+from .summary import RunSummary
 
 __all__ = ["Fig6Result", "run_fig6"]
 
 
 def _burst_window(
-    run: ModelRun, burst_index: int, lead: float, tail: float
+    summary: RunSummary, burst_index: int, lead: float, tail: float
 ) -> Tuple[float, float, float]:
-    bursts = run.attacker.bursts
+    bursts = summary.bursts
     if len(bursts) <= burst_index:
         raise ValueError(
             f"run produced only {len(bursts)} bursts, need "
@@ -111,20 +112,25 @@ def run_fig6(
     burst_index: int = 3,
     lead: float = 0.2,
     tail: float = 1.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig6Result:
     """Run both models and extract one burst's queue trajectories."""
-    tandem_run = run_model(scenario, "tandem")
-    attack_run = run_model(scenario, "attack-finite")
+    tandem, attack = ensure_executor(executor).map(
+        [
+            SweepCell.make("model", (scenario, "tandem")),
+            SweepCell.make("model", (scenario, "attack-finite")),
+        ]
+    )
 
-    burst_start, w0, w1 = _burst_window(attack_run, burst_index, lead, tail)
+    burst_start, w0, w1 = _burst_window(attack, burst_index, lead, tail)
     attack_series = {
-        tier: attack_run.queue_sampler.series[tier].between(w0, w1)
+        tier: attack.queue_series[tier].between(w0, w1)
         for tier in scenario.tier_names
     }
     # The tandem run's bursts are at the same nominal schedule.
-    t_start, t0, t1 = _burst_window(tandem_run, burst_index, lead, tail)
+    t_start, t0, t1 = _burst_window(tandem, burst_index, lead, tail)
     tandem_series = {
-        tier: tandem_run.queue_sampler.series[tier].between(t0, t1)
+        tier: tandem.queue_series[tier].between(t0, t1)
         for tier in scenario.tier_names
     }
 

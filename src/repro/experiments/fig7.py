@@ -16,16 +16,12 @@ disciplines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..analysis.report import format_percentile_curves
-from ..analysis.stats import (
-    PercentileCurve,
-    client_percentile_curve,
-    tier_percentile_curves,
-)
+from ..analysis.stats import PercentileCurve
 from .configs import MODEL_3TIER, ModelScenario
-from .runner import run_model
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 
 __all__ = ["Fig7Result", "run_fig7", "CASES"]
 
@@ -93,17 +89,20 @@ class Fig7Result:
         )
 
 
-def run_fig7(scenario: ModelScenario = MODEL_3TIER) -> Fig7Result:
+def run_fig7(
+    scenario: ModelScenario = MODEL_3TIER,
+    executor: Optional[SweepExecutor] = None,
+) -> Fig7Result:
     """Run all three cases and compute their percentile curves."""
+    summaries = ensure_executor(executor).map(
+        [
+            SweepCell.make("model", (scenario, mode))
+            for mode in CASES.values()
+        ]
+    )
     cases: Dict[str, Dict[str, PercentileCurve]] = {}
     drops: Dict[str, int] = {}
-    for case, mode in CASES.items():
-        run = run_model(scenario, mode)
-        requests = run.client_requests()
-        curves = tier_percentile_curves(
-            requests, scenario.tier_names, PERCENTILES
-        )
-        curves["client"] = client_percentile_curve(requests, PERCENTILES)
-        cases[case] = curves
-        drops[case] = run.app.front.drops
+    for case, summary in zip(CASES, summaries):
+        cases[case] = summary.percentile_curves(PERCENTILES)
+        drops[case] = summary.front_drops
     return Fig7Result(scenario=scenario, cases=cases, drops=drops)

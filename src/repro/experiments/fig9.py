@@ -11,15 +11,15 @@ Four aligned views at 50 ms monitoring granularity:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis.report import format_series, format_table
 from ..core.burst import BurstRecord
 from ..monitoring.metrics import TimeSeries
 from .configs import PRIVATE_CLOUD, RubbosScenario
-from .runner import RubbosRun, run_rubbos
+from .parallel import SweepCell, SweepExecutor, ensure_executor
+from .runner import RubbosRun
+from .summary import RunSummary, summarize_rubbos
 
 __all__ = ["Fig9Result", "run_fig9"]
 
@@ -35,7 +35,7 @@ class Fig9Result:
     queue_series: Dict[str, TimeSeries]
     #: (completion time, response time) per client request in-window.
     client_points: List[Tuple[float, float]]
-    run: RubbosRun
+    summary: RunSummary
 
     # -- panel assertions ---------------------------------------------------
 
@@ -45,7 +45,7 @@ class Fig9Result:
 
     def queues_propagate(self) -> bool:
         """Each burst pushes queueing beyond MySQL into Tomcat (panel c)."""
-        mysql_cap = self.run.scenario.mysql_connections
+        mysql_cap = self.scenario.mysql_connections
         tomcat = self.queue_series["tomcat"]
         return tomcat.max() > mysql_cap
 
@@ -108,34 +108,43 @@ def run_fig9(
     window_start: float = 20.0,
     window_length: float = 8.0,
     duration: Optional[float] = None,
-    run: Optional[RubbosRun] = None,
+    run: Optional[Union[RubbosRun, RunSummary]] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Fig9Result:
-    """Run (or reuse) a RUBBoS attack and cut the snapshot window."""
+    """Run (or reuse) a RUBBoS attack and cut the snapshot window.
+
+    ``run`` may be a live :class:`RubbosRun` or an already-extracted
+    :class:`RunSummary`; either way the same summary-based path builds
+    the panels.
+    """
     if run is None:
         if duration is not None:
             scenario = replace(scenario, duration=duration)
-        run = run_rubbos(scenario)
+        summary = ensure_executor(executor).run(
+            SweepCell.make("rubbos", scenario)
+        )
+    elif isinstance(run, RunSummary):
+        summary = run
     else:
-        scenario = run.scenario
+        summary = summarize_rubbos(run)
+    scenario = summary.scenario
     w0, w1 = window_start, window_start + window_length
     if w1 > scenario.duration:
         raise ValueError("snapshot window extends past the run")
-    assert run.attack is not None and run.attack.attacker is not None
-    bursts = [
-        b
-        for b in run.attack.attacker.bursts
-        if b.start < w1 and b.end > w0
-    ]
-    mysql_util = run.util_monitors["mysql"].series.between(w0, w1)
+    if w0 < scenario.warmup:
+        raise ValueError(
+            "snapshot window starts inside warmup (summaries only "
+            "retain post-warmup requests)"
+        )
+    if not summary.bursts:
+        raise ValueError("Fig 9 needs an attack run (no bursts recorded)")
+    bursts = summary.bursts_between(w0, w1)
+    mysql_util = summary.util_series["mysql"].between(w0, w1)
     queue_series = {
-        tier: run.queue_sampler.series[tier].between(w0, w1)
+        tier: summary.queue_series[tier].between(w0, w1)
         for tier in ("apache", "tomcat", "mysql")
     }
-    client_points = [
-        (r.t_done, r.response_time)
-        for r in run.app.completed
-        if r.t_done is not None and w0 <= r.t_done < w1
-    ]
+    client_points = summary.client_points(w0, w1)
     return Fig9Result(
         scenario=scenario,
         window=(w0, w1),
@@ -143,5 +152,5 @@ def run_fig9(
         mysql_util=mysql_util,
         queue_series=queue_series,
         client_points=client_points,
-        run=run,
+        summary=summary,
     )

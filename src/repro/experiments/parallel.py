@@ -1,0 +1,358 @@
+"""Process-pool sweep executor with content-addressed run caching.
+
+Every figure and ablation in the evaluation is a set of *independent*
+fixed-seed runs — a sweep.  :class:`SweepExecutor` fans those cells out
+across a ``ProcessPoolExecutor`` and memoizes each cell's result on
+disk, keyed by a stable content hash of the cell plus a repo
+code-version token, so an unchanged figure cell is never re-simulated
+across regenerations.
+
+Design points:
+
+* **Cells are data, not closures.**  A :class:`SweepCell` names a
+  registered *kind* (resolved to a ``module:function`` entry point
+  inside the worker) plus a picklable spec and options.  Workers import
+  the experiment code themselves, so nothing unpicklable crosses the
+  process boundary in either direction — results are compact
+  :class:`~repro.experiments.summary.RunSummary` objects or the
+  experiment's own frozen record types.
+* **Parallel == serial, byte for byte.**  Cells are fixed-seed and
+  share no state, so the pickled result of a cell is identical whether
+  it ran inline, in a worker, or came out of the cache.  The golden
+  harness asserts this (``tests/test_sweep.py``).
+* **Cache keys are content hashes.**  ``stable_hash`` canonicalizes the
+  cell (dataclasses included) to JSON and SHA-256s it; the key also
+  folds in :func:`code_version_token` — a hash of every ``repro``
+  source file — so any code change invalidates the whole cache rather
+  than serving stale physics.
+* **Graceful degradation.**  ``max_workers=1``, a pool that fails to
+  start, or a corrupted cache entry all fall back to inline execution /
+  a re-run — never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SweepCell",
+    "SweepStats",
+    "RunCache",
+    "SweepExecutor",
+    "CELL_KINDS",
+    "execute_cell",
+    "stable_hash",
+    "code_version_token",
+]
+
+#: cell kind -> "module:function" entry point, resolved lazily in the
+#: worker process (string indirection avoids import cycles with the
+#: experiment modules, which themselves import this module).
+CELL_KINDS: Dict[str, str] = {
+    "rubbos": "repro.experiments.summary:rubbos_summary_cell",
+    "model": "repro.experiments.summary:model_summary_cell",
+    "bandwidth": "repro.experiments.fig3:bandwidth_cell",
+    "placement-campaign": "repro.experiments.placement:campaign_cell",
+    "baseline-campaign": "repro.experiments.baselines:baseline_cell",
+    "ablation-model-point": "repro.experiments.ablation:model_point_cell",
+    "ablation-rubbos-point": "repro.experiments.ablation:rubbos_point_cell",
+    "ablation-distribution": "repro.experiments.ablation:distribution_cell",
+    "ablation-dual": "repro.experiments.ablation:dual_tier_cell",
+    "defense": "repro.experiments.defense:defense_cell",
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a kind, its spec, and keyword options."""
+
+    kind: str
+    spec: Any
+    #: Sorted (name, value) pairs passed as keyword arguments.
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(kind: str, spec: Any, **options: Any) -> "SweepCell":
+        return SweepCell(
+            kind=kind, spec=spec, options=tuple(sorted(options.items()))
+        )
+
+
+def _round_trip(payload: Any) -> Any:
+    """Normalize a payload through one pickle round trip.
+
+    Pool results cross a pickle boundary; inline results must cross the
+    same one, or the byte-identity contract (parallel == serial ==
+    cached, as pickled bytes) would fail on incidental object-identity
+    sharing — e.g. a numpy structured dtype recreates its field-name
+    strings on load, un-sharing them from equal dict keys elsewhere in
+    the result and shifting pickle's memo references.  One round trip
+    is a fixed point, so every execution route yields the same bytes.
+    """
+    return pickle.loads(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+
+def execute_cell(cell: SweepCell) -> Any:
+    """Resolve a cell's entry point and run it (worker-side)."""
+    try:
+        target = CELL_KINDS[cell.kind]
+    except KeyError:
+        raise ValueError(f"unknown sweep cell kind {cell.kind!r}") from None
+    module_name, _, function_name = target.partition(":")
+    module = importlib.import_module(module_name)
+    function = getattr(module, function_name)
+    return function(cell.spec, **dict(cell.options))
+
+
+# -- stable content hashing ----------------------------------------------
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Dataclasses become ``[qualified-name, [field, value], ...]`` so two
+    different scenario types with identical fields cannot collide, and
+    renaming a field changes the hash (as it should — the cached
+    physics may differ).
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            f"{type(obj).__module__}.{type(obj).__qualname__}",
+            [
+                [f.name, _canonical(getattr(obj, f.name))]
+                for f in fields(obj)
+            ],
+        ]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (str(k), _canonical(v)) for k, v in obj.items()
+            )
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (str, bool, int, type(None))):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; json.dumps uses it too, but
+        # be explicit that the hash is ULP-sensitive on purpose.
+        return float(obj)
+    if hasattr(obj, "item") and callable(obj.item):
+        return _canonical(obj.item())  # numpy scalars
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__qualname__} for a cache key; "
+        "put a primitive identifier (e.g. a name) in the cell spec instead"
+    )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_VERSION_TOKEN: Optional[str] = None
+
+
+def code_version_token() -> str:
+    """Hash of every ``repro`` source file (cached per process).
+
+    Folding this into every cache key makes the cache self-invalidating:
+    touch any simulator/experiment source and previously cached results
+    are simply never looked up again.
+    """
+    global _VERSION_TOKEN
+    if _VERSION_TOKEN is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _VERSION_TOKEN = digest.hexdigest()
+    return _VERSION_TOKEN
+
+
+# -- the on-disk result cache --------------------------------------------
+
+#: Sentinel distinguishing "no cached entry" from a cached ``None``.
+_MISS = object()
+
+
+class RunCache:
+    """Content-addressed pickle store for sweep-cell results."""
+
+    def __init__(self, root: str, version_token: Optional[str] = None):
+        self.root = root
+        self.version = (
+            version_token if version_token is not None
+            else code_version_token()
+        )
+
+    def key_for(self, cell: SweepCell) -> str:
+        return hashlib.sha256(
+            f"{self.version}\n{stable_hash(cell)}".encode()
+        ).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def get(self, cell: SweepCell) -> Any:
+        """The cached payload, or the module-private miss sentinel.
+
+        A corrupted or unreadable entry is treated as a miss (the cell
+        re-runs and overwrites it) — never an error.
+        """
+        path = self._path(self.key_for(cell))
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError, MemoryError):
+            return _MISS
+
+    def put(self, cell: SweepCell, payload: Any) -> None:
+        """Atomically store a payload (tmp file + rename)."""
+        path = self._path(self.key_for(cell))
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+# -- the executor ---------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    """What one executor did: how many cells ran vs. came from cache."""
+
+    cells: int = 0
+    simulated: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+
+    def merge_timing(self, elapsed: float) -> None:
+        self.wall_seconds += elapsed
+
+
+class SweepExecutor:
+    """Fans sweep cells across processes, memoizing results on disk.
+
+    ``max_workers=None`` auto-detects (``os.cpu_count()``); 1 runs
+    inline in-process.  A pool that cannot start (restricted
+    environments, missing semaphores) silently degrades to inline
+    execution — results are identical either way, only wall-clock
+    differs.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+    ):
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers}")
+        self.max_workers = max_workers
+        self.cache = cache
+        self.stats = SweepStats()
+
+    @classmethod
+    def inline(cls) -> "SweepExecutor":
+        """A serial, uncached executor (the default for direct calls)."""
+        return cls(max_workers=1, cache=None)
+
+    def run(self, cell: SweepCell) -> Any:
+        return self.map([cell])[0]
+
+    def map(self, cells: Sequence[SweepCell]) -> List[Any]:
+        """Execute cells (cache -> pool -> inline) preserving order."""
+        started = time.perf_counter()
+        results: List[Any] = [None] * len(cells)
+        pending: List[Tuple[int, SweepCell]] = []
+        for index, cell in enumerate(cells):
+            self.stats.cells += 1
+            if self.cache is not None:
+                hit = self.cache.get(cell)
+                if hit is not _MISS:
+                    results[index] = hit
+                    self.stats.cached += 1
+                    continue
+            pending.append((index, cell))
+
+        if pending:
+            executed = None
+            if self.max_workers > 1 and len(pending) > 1:
+                executed = self._run_pool(pending)
+            if executed is None:
+                executed = [
+                    (index, cell, _round_trip(execute_cell(cell)))
+                    for index, cell in pending
+                ]
+            for index, cell, payload in executed:
+                results[index] = payload
+                self.stats.simulated += 1
+                if self.cache is not None:
+                    self.cache.put(cell, payload)
+        self.stats.merge_timing(time.perf_counter() - started)
+        return results
+
+    def _run_pool(
+        self, pending: Sequence[Tuple[int, SweepCell]]
+    ) -> Optional[List[Tuple[int, SweepCell, Any]]]:
+        """Run pending cells on a process pool; None = pool unavailable."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return None
+        workers = min(self.max_workers, len(pending))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (index, cell, pool.submit(execute_cell, cell))
+                    for index, cell in pending
+                ]
+                return [
+                    (index, cell, future.result())
+                    for index, cell, future in futures
+                ]
+        except (OSError, PermissionError, RuntimeError):
+            # Pools need working fork/spawn + semaphores; sandboxes and
+            # some CI runners lack them.  Inline execution is always
+            # available and produces identical results.
+            return None
+
+
+def ensure_executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    """Default experiment entry points to a serial, uncached executor."""
+    return executor if executor is not None else SweepExecutor.inline()

@@ -31,6 +31,7 @@ from ..ntier.tier import Tier
 from ..sim.core import Simulator
 from ..sim.rng import RandomStreams
 from ..workload.generator import OpenLoopGenerator, exponential_request_factory
+from .parallel import SweepCell, SweepExecutor, ensure_executor
 
 __all__ = ["PlacementStudyRow", "PlacementStudy", "run_campaign",
            "run_placement_study"]
@@ -92,6 +93,14 @@ def run_campaign(
     return campaign.result
 
 
+def campaign_cell(spec) -> CampaignResult:
+    """Sweep-cell entry point: one (n_hosts, strategy, max_vms, seed)."""
+    n_hosts, strategy, max_vms, seed = spec
+    return run_campaign(
+        n_hosts=n_hosts, strategy=strategy, max_vms=max_vms, seed=seed
+    )
+
+
 @dataclass(frozen=True)
 class PlacementStudyRow:
     """Aggregate over trials for one (zone size, strategy) cell."""
@@ -144,36 +153,43 @@ def run_placement_study(
     strategies: Tuple[str, ...] = ("random", "packed"),
     trials: int = 5,
     max_vms: int = 60,
+    executor: Optional[SweepExecutor] = None,
 ) -> PlacementStudy:
     """Sweep zone size and strategy over several campaign trials."""
-    rows = []
-    for n_hosts in zone_sizes:
-        for strategy in strategies:
-            results = [
-                run_campaign(
-                    n_hosts=n_hosts,
-                    strategy=strategy,
-                    max_vms=max_vms,
-                    seed=100 * n_hosts + trial,
-                )
-                for trial in range(trials)
-            ]
-            successes = [r for r in results if r.success]
-            rows.append(
-                PlacementStudyRow(
-                    n_hosts=n_hosts,
-                    strategy=strategy,
-                    trials=trials,
-                    success_rate=len(successes) / trials,
-                    mean_vms=float(
-                        np.mean([r.vms_launched for r in results])
-                    ),
-                    mean_cost_usd=float(
-                        np.mean([r.cost_usd for r in results])
-                    ),
-                    false_positives=sum(
-                        r.false_positives for r in results
-                    ),
-                )
+    grid = [
+        (n_hosts, strategy)
+        for n_hosts in zone_sizes
+        for strategy in strategies
+    ]
+    campaigns = ensure_executor(executor).map(
+        [
+            SweepCell.make(
+                "placement-campaign",
+                (n_hosts, strategy, max_vms, 100 * n_hosts + trial),
             )
+            for n_hosts, strategy in grid
+            for trial in range(trials)
+        ]
+    )
+    rows = []
+    for index, (n_hosts, strategy) in enumerate(grid):
+        results = campaigns[index * trials:(index + 1) * trials]
+        successes = [r for r in results if r.success]
+        rows.append(
+            PlacementStudyRow(
+                n_hosts=n_hosts,
+                strategy=strategy,
+                trials=trials,
+                success_rate=len(successes) / trials,
+                mean_vms=float(
+                    np.mean([r.vms_launched for r in results])
+                ),
+                mean_cost_usd=float(
+                    np.mean([r.cost_usd for r in results])
+                ),
+                false_positives=sum(
+                    r.false_positives for r in results
+                ),
+            )
+        )
     return PlacementStudy(rows=rows)

@@ -33,6 +33,7 @@ from ..sim.rng import RandomStreams
 from ..workload.generator import OpenLoopGenerator, exponential_request_factory
 from ..workload.rubbos import RubbosWorkload
 from .configs import AttackSpec, ModelScenario, RubbosScenario
+from .summary import completed_after_warmup
 
 __all__ = [
     "RubbosRun",
@@ -105,11 +106,9 @@ class RubbosRun:
 
     def client_requests(self) -> List[Request]:
         """Completed requests that finished after warmup."""
-        return [
-            r
-            for r in self.app.completed
-            if r.t_done is not None and r.t_done >= self.scenario.warmup
-        ]
+        return completed_after_warmup(
+            self.app.completed, self.scenario.warmup
+        )
 
     @property
     def measured_window(self) -> float:
@@ -259,11 +258,9 @@ class ModelRun:
         return self.deployment.app
 
     def client_requests(self) -> List[Request]:
-        return [
-            r
-            for r in self.app.completed
-            if r.t_done is not None and r.t_done >= self.scenario.warmup
-        ]
+        return completed_after_warmup(
+            self.app.completed, self.scenario.warmup
+        )
 
 
 def _model_deployment_config(

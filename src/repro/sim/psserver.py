@@ -15,6 +15,22 @@ as a reduced effective speed.  Crucially, stalled cycles still count as
 CPU "saturates" during a burst even though memory is the contended
 resource.  The busy-time integrator therefore charges ``min(n, cores)``
 core-seconds per second regardless of ``speed``.
+
+Performance notes (byte-identity constrained).  Every job progresses at
+the *same* per-job rate, so between submissions the job with the least
+remaining work never changes: IEEE-754 subtraction of a shared progress
+increment is monotone, so the argmin is stable under ``_advance`` and
+the shortest job can be tracked incrementally in O(1) instead of
+rescanned with an O(n) ``min`` on every submission (the old hot-path
+cost; completions still rescan, which is unavoidable since the next
+shortest must be found).  A full virtual-work offset (store one finish
+credit per job at submit, advance a single cumulative attained-service
+counter) would also drop the per-job decrement loop in ``_advance``,
+but ``fl(credit - V)`` rounds differently from the sequential
+``fl(fl(r - p1) - p2)`` the previous kernel performed, which shifts
+completion times by ULPs and breaks the byte-identity contract of
+``tests/test_determinism.py`` — so the decrement loop stays, with the
+exact same rounding sequence as before.
 """
 
 from __future__ import annotations
@@ -47,7 +63,14 @@ class ProcessorSharingServer:
         self.cores = int(cores)
         self.name = name
         self._speed = float(speed)
+        # Insertion-ordered job table: completion scans must visit jobs
+        # in submission order (event succession order is observable).
         self._jobs: Dict[Event, float] = {}
+        #: The job with the least remaining work, tracked incrementally
+        #: (None = unknown, rescan lazily).  All jobs shrink by the same
+        #: increment per advance, so the argmin is stable between
+        #: submissions/completions/cancels.
+        self._shortest_job: Optional[Event] = None
         self._last_update = sim.now
         self._generation = 0
         # Integrators (advance() brings these up to date).
@@ -104,7 +127,16 @@ class ProcessorSharingServer:
             done.succeed()
             return done
         self._advance()
-        self._jobs[done] = float(work)
+        jobs = self._jobs
+        work = float(work)
+        jobs[done] = work
+        # O(1) shortest-job maintenance: the advance above brought every
+        # remaining-work value up to now, so a single comparison decides
+        # whether the newcomer is the next to finish.  (Ties keep the
+        # incumbent — only the min *value* is observable, and it's equal.)
+        shortest = self._shortest_job
+        if shortest is None or work < jobs[shortest]:
+            self._shortest_job = done
         self._reschedule()
         return done
 
@@ -120,6 +152,8 @@ class ProcessorSharingServer:
         """Abort an in-service job without triggering its event."""
         self._advance()
         if self._jobs.pop(job, None) is not None:
+            if job is self._shortest_job:
+                self._shortest_job = None  # rescan lazily in _reschedule
             self._reschedule()
 
     # -- internals --------------------------------------------------------
@@ -145,9 +179,23 @@ class ProcessorSharingServer:
             progress = self._speed * active_cores / n * dt
             if progress > 0:
                 self._work_done += progress * n
-                for job in jobs:
-                    jobs[job] -= progress
+                # Identical fl(r - progress) per job as the original
+                # per-job loop; only the container iteration changed.
+                for job, remaining in jobs.items():
+                    jobs[job] = remaining - progress
         self._last_update = now
+
+    def _find_shortest(self) -> Optional[Event]:
+        """O(n) argmin rescan (completion/cancel path only)."""
+        jobs = self._jobs
+        if not jobs:
+            return None
+        best_job = None
+        best = None
+        for job, remaining in jobs.items():
+            if best is None or remaining < best:
+                best, best_job = remaining, job
+        return best_job
 
     def _reschedule(self) -> None:
         """Schedule the next completion after any state change.
@@ -155,15 +203,19 @@ class ProcessorSharingServer:
         Superseded timers are discarded lazily: every re-arm bumps the
         generation, and a stale ``fire`` returns without touching the
         server, so the heap never needs an O(n) deletion.  The common
-        no-completion case runs a single ``min`` scan — the finished-job
-        list is only materialized when something actually completed.
+        submit path is O(1): the shortest job is tracked incrementally,
+        so no ``min`` scan runs unless something actually completed (or
+        the tracked job was cancelled).
         """
         self._generation += 1
         generation = self._generation
         jobs = self._jobs
         if not jobs:
+            self._shortest_job = None
             return
-        shortest = min(jobs.values())
+        if self._shortest_job is None:
+            self._shortest_job = self._find_shortest()
+        shortest = jobs[self._shortest_job]
         if shortest <= _EPSILON:
             finished = [
                 job for job, remaining in jobs.items()
@@ -174,8 +226,10 @@ class ProcessorSharingServer:
                 self.jobs_completed += 1
                 job.succeed()
             if not jobs:
+                self._shortest_job = None
                 return
-            shortest = min(jobs.values())
+            self._shortest_job = self._find_shortest()
+            shortest = jobs[self._shortest_job]
         n = len(jobs)
         cores = self.cores
         rate = self._speed * (n if n < cores else cores) / n

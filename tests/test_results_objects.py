@@ -104,7 +104,7 @@ class TestDefenseResult:
                       (30.0, 0.015, 530)],
             migrations=[],
             recolocations=[],
-            run=None,
+            summary=None,
         )
 
     def test_p95_between_uses_median_of_windows(self):

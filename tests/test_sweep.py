@@ -1,0 +1,211 @@
+"""Sweep engine tests: hashing, caching, and the determinism contract.
+
+The headline guarantee of :mod:`repro.experiments.parallel` is that the
+route a cell takes — inline, process pool, or disk cache — is
+unobservable in the result: the pickled payload is byte-identical.
+These tests pin that down on the golden fig2/fig9 scenarios, plus the
+cache-key semantics (content-addressed, version-token-folded) and the
+failure modes (corrupted entries, unavailable pools).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import MODEL_3TIER
+from repro.experiments.fig2 import PERCENTILES, fig2_cell
+from repro.experiments.parallel import (
+    _MISS,
+    RunCache,
+    SweepCell,
+    SweepExecutor,
+    code_version_token,
+    execute_cell,
+    stable_hash,
+)
+
+from tests._golden import GOLDEN_FIG2, GOLDEN_FIG9
+
+
+def golden_cells():
+    """One closed-loop fig2 cell and one denser-burst fig9 cell."""
+    return [
+        fig2_cell(GOLDEN_FIG2),
+        SweepCell.make("rubbos", GOLDEN_FIG9),
+    ]
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        cell = fig2_cell(GOLDEN_FIG2)
+        assert stable_hash(cell) == stable_hash(cell)
+        rebuilt = fig2_cell(replace(GOLDEN_FIG2))
+        assert stable_hash(rebuilt) == stable_hash(cell)
+
+    def test_sensitive_to_any_field(self):
+        base = stable_hash(fig2_cell(GOLDEN_FIG2))
+        for change in (
+            {"users": GOLDEN_FIG2.users + 1},
+            {"seed": GOLDEN_FIG2.seed + 1},
+            {"duration": GOLDEN_FIG2.duration + 0.5},
+            {"name": "renamed"},
+        ):
+            varied = stable_hash(fig2_cell(replace(GOLDEN_FIG2, **change)))
+            assert varied != base, change
+
+    def test_sensitive_to_options_and_kind(self):
+        plain = SweepCell.make("rubbos", GOLDEN_FIG2)
+        with_llc = SweepCell.make("rubbos", GOLDEN_FIG2, collect_llc=True)
+        assert stable_hash(plain) != stable_hash(with_llc)
+        other_kind = SweepCell(kind="model", spec=GOLDEN_FIG2)
+        assert stable_hash(plain) != stable_hash(other_kind)
+
+    def test_option_order_is_canonical(self):
+        a = SweepCell.make("rubbos", GOLDEN_FIG2, x=1, y=2)
+        b = SweepCell.make("rubbos", GOLDEN_FIG2, y=2, x=1)
+        assert stable_hash(a) == stable_hash(b)
+
+    def test_unhashable_payload_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash(SweepCell.make("rubbos", object()))
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(str(tmp_path), version_token="v1")
+        cell = SweepCell.make("rubbos", GOLDEN_FIG2)
+        assert cache.get(cell) is _MISS
+        executor = SweepExecutor(max_workers=1, cache=cache)
+        cache.put(cell, {"payload": 42})
+        assert cache.get(cell) == {"payload": 42}
+        assert executor.run(cell) == {"payload": 42}
+        assert executor.stats.cached == 1
+        assert executor.stats.simulated == 0
+
+    def test_field_change_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path), version_token="v1")
+        cell = SweepCell.make("rubbos", GOLDEN_FIG2)
+        cache.put(cell, "cached")
+        shifted = SweepCell.make(
+            "rubbos", replace(GOLDEN_FIG2, seed=GOLDEN_FIG2.seed + 1)
+        )
+        assert cache.get(shifted) is _MISS
+
+    def test_version_token_invalidates(self, tmp_path):
+        cell = SweepCell.make("rubbos", GOLDEN_FIG2)
+        old = RunCache(str(tmp_path), version_token="v1")
+        old.put(cell, "old physics")
+        new = RunCache(str(tmp_path), version_token="v2")
+        assert new.get(cell) is _MISS
+        # And the old entry is still addressable under the old token.
+        assert old.get(cell) == "old physics"
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = RunCache(str(tmp_path), version_token="v1")
+        cell = SweepCell.make("rubbos", GOLDEN_FIG2)
+        cache.put(cell, "good")
+        path = cache._path(cache.key_for(cell))
+        with open(path, "wb") as fh:
+            fh.write(b"\x00 not a pickle \xff")
+        assert cache.get(cell) is _MISS
+        # A fresh put repairs the slot.
+        cache.put(cell, "repaired")
+        assert cache.get(cell) == "repaired"
+
+    def test_default_token_is_code_hash(self, tmp_path):
+        assert RunCache(str(tmp_path)).version == code_version_token()
+        assert len(code_version_token()) == 64
+
+
+class TestDeterminismContract:
+    """Parallel == serial == cached, byte for byte (ISSUE acceptance)."""
+
+    @pytest.fixture(scope="class")
+    def serial_payloads(self):
+        executor = SweepExecutor.inline()
+        return [
+            pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)
+            for r in executor.map(golden_cells())
+        ]
+
+    def test_pool_matches_serial_bytes(self, serial_payloads):
+        executor = SweepExecutor(max_workers=2, cache=None)
+        parallel = [
+            pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)
+            for r in executor.map(golden_cells())
+        ]
+        assert parallel == serial_payloads
+
+    def test_cache_round_trip_matches_serial_bytes(
+        self, serial_payloads, tmp_path
+    ):
+        cache = RunCache(str(tmp_path), version_token="golden")
+        warm = SweepExecutor(max_workers=1, cache=cache)
+        first = warm.map(golden_cells())
+        assert warm.stats.simulated == len(first)
+        second = SweepExecutor(max_workers=1, cache=cache)
+        cached = [
+            pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)
+            for r in second.map(golden_cells())
+        ]
+        assert second.stats.cached == len(cached)
+        assert second.stats.simulated == 0
+        assert cached == serial_payloads
+
+    def test_summary_accessors_survive_the_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path), version_token="golden")
+        SweepExecutor(max_workers=1, cache=cache).run(
+            fig2_cell(GOLDEN_FIG2)
+        )
+        summary = SweepExecutor(max_workers=1, cache=cache).run(
+            fig2_cell(GOLDEN_FIG2)
+        )
+        fresh = execute_cell(fig2_cell(GOLDEN_FIG2))
+        assert np.array_equal(
+            summary.client_response_times(),
+            fresh.client_response_times(),
+        )
+        assert summary.percentile_curves(PERCENTILES) == \
+            fresh.percentile_curves(PERCENTILES)
+
+
+class TestExecutorBehavior:
+    def test_inline_default(self):
+        executor = SweepExecutor.inline()
+        assert executor.max_workers == 1
+        assert executor.cache is None
+
+    def test_auto_workers_positive(self):
+        assert SweepExecutor().max_workers >= 1
+        with pytest.raises(ValueError):
+            SweepExecutor(max_workers=0)
+
+    def test_order_preserved_under_pool(self):
+        cells = [
+            SweepCell.make(
+                "model",
+                (replace(MODEL_3TIER, arrival_rate=rate), "tandem"),
+            )
+            for rate in (200.0, 250.0, 300.0)
+        ]
+        results = SweepExecutor(max_workers=2).map(cells)
+        rates = [s.scenario.arrival_rate for s in results]
+        assert rates == [200.0, 250.0, 300.0]
+
+    def test_pool_failure_falls_back_inline(self, monkeypatch):
+        executor = SweepExecutor(max_workers=4)
+        monkeypatch.setattr(
+            type(executor), "_run_pool", lambda self, pending: None
+        )
+        cells = golden_cells()
+        results = executor.map(cells)
+        assert len(results) == len(cells)
+        assert executor.stats.simulated == len(cells)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            execute_cell(SweepCell.make("no-such-kind", GOLDEN_FIG2))
