@@ -14,9 +14,18 @@ noise-rejecting statistic for throughput benchmarks on shared machines.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_kernel.py            # full gate
-    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/bench_kernel.py --check    # enforce <10s
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check    # full gate
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick --check  # CI
+
+``--check`` enforces the PR-5 calendar-queue budgets: traced 10k-users
+x 60 sim-s <= 6.5 s wall (>= 3x over the pre-optimization 19.462 s
+baseline) and untraced <= 4.5 s.  With ``--quick`` the budgets are the
+loose CI variants below — small enough to catch a multiple-x
+regression, large enough for shared runners — plus an *exact*
+``events_dispatched`` equality check on the traced run, which is a
+noise-free determinism/accounting gate (any change to the event
+schedule shifts it).
 
 Results land in ``benchmarks/results/BENCH_kernel.json`` (or
 ``BENCH_kernel_quick.json`` with ``--quick``).
@@ -41,6 +50,22 @@ SCENARIO_KEYS = {
     False: "users10k_60s_untraced",
     True: "users10k_60s_traced_full_population",
 }
+
+#: ``--check`` wall-time budgets (seconds), full 10k x 60 s scenario.
+#: Traced: >= 3x over the 19.462 s pre-optimization baseline.
+BUDGETS = {"traced": 6.5, "untraced": 4.5}
+
+#: ``--quick --check`` budgets: ~8x headroom over a healthy run (0.48 s
+#: traced / 0.37 s untraced on the reference box) so a loaded shared CI
+#: runner still passes; this is a gross-regression tripwire, not a
+#: perf gate — the full ``--check`` run owns the real budgets.
+QUICK_BUDGETS = {"traced": 4.0, "untraced": 3.0}
+
+#: Exact event count of the quick traced scenario (2k users x 10 s).
+#: Equality is a noise-free determinism gate: any change to the event
+#: schedule — an extra timer, a lost wakeup, a reordered grant — shifts
+#: it, independent of how slow the box is.
+QUICK_EVENTS = 74_949
 
 
 def run_once(users: int, duration: float, tracing: bool) -> dict:
@@ -115,7 +140,9 @@ def main() -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit nonzero unless the traced 10k-user run beats 10s wall",
+        help="exit nonzero unless the runs meet the wall-time budgets "
+             "(full: traced <= 6.5s, untraced <= 4.5s; quick: loose CI "
+             "budgets plus exact traced event-count equality)",
     )
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--users", type=int, default=None)
@@ -180,15 +207,37 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {out}")
 
-    if args.check and not args.quick:
-        traced = report["scenarios"]["traced"]["wall_seconds"]
-        if traced >= 10.0:
-            print(
-                f"FAIL: traced 10k-user run took {traced:.2f}s (>= 10s)",
-                file=sys.stderr,
-            )
+    if args.check:
+        failed = False
+        budgets = QUICK_BUDGETS if args.quick else BUDGETS
+        custom = args.users is not None or args.duration is not None
+        for label, budget in budgets.items():
+            wall = report["scenarios"][label]["wall_seconds"]
+            if custom:
+                print(f"SKIP {label}: budgets assume the default scenario")
+            elif wall > budget:
+                print(
+                    f"FAIL: {label} run took {wall:.2f}s "
+                    f"(budget {budget:.1f}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"OK: {label} run {wall:.2f}s <= {budget:.1f}s")
+        if args.quick and not custom:
+            events = report["scenarios"]["traced"]["events_dispatched"]
+            if events != QUICK_EVENTS:
+                print(
+                    f"FAIL: quick traced run dispatched {events} events, "
+                    f"expected exactly {QUICK_EVENTS} — the event "
+                    "schedule changed",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"OK: quick traced event count {events} (exact)")
+        if failed:
             return 1
-        print(f"OK: traced 10k-user run {traced:.2f}s < 10s")
     return 0
 
 

@@ -300,6 +300,39 @@ def _trace_scenarios() -> Dict[str, object]:
     }
 
 
+def _print_kernel_profile(kernel, duration: float) -> None:
+    """Render the KernelProfiler wall-time-per-sim-second breakdown.
+
+    One row per sim-time bin with the mean and worst wall cost of a
+    simulated second inside it, plus a bar scaled to the worst bin —
+    makes kernel hot spots (attack bursts, retransmission storms)
+    visible without ad-hoc profiling scripts.
+    """
+    series = kernel.wall_time_per_sim_second()
+    if not len(series):
+        print("profile: no kernel checkpoints recorded (run too short)")
+        return
+    # ~24 rows regardless of scenario duration, at >= 0.5 s granularity.
+    interval = max(0.5, duration / 24)
+    mean = series.resample(interval, agg="mean")
+    peak = series.resample(interval, agg="max")
+    top = max(peak.values) if len(peak) else 0.0
+    print(
+        f"\nkernel profile: wall ms per sim-second "
+        f"({interval:.1f} s bins, bar = share of worst bin)"
+    )
+    print(f"{'sim time':>14}  {'mean':>8}  {'peak':>8}")
+    for (t, m), (_, p) in zip(mean, peak):
+        bar = "#" * int(round(28 * (p / top))) if top > 0 else ""
+        print(
+            f"{t - interval:7.1f}-{t:<6.1f}  {m * 1e3:8.2f}  "
+            f"{p * 1e3:8.2f}  {bar}"
+        )
+    print(
+        f"{'total':>14}  {kernel.summary().get('wall_per_sim_second', 0.0) * 1e3:8.2f}"
+    )
+
+
 def _run_trace(args) -> int:
     """The ``trace`` subcommand: traced run + exports + attribution."""
     from .analysis.attribution import attribute_run
@@ -360,6 +393,8 @@ def _run_trace(args) -> int:
         f"{kernel.get('wall_per_sim_second', 0.0) * 1e3:.1f} ms wall "
         f"per sim-second"
     )
+    if args.profile:
+        _print_kernel_profile(run.obs.kernel, scenario.duration)
     snapshot = run.obs.metrics.snapshot()
     rt = snapshot.get("response_time")
     if rt and rt.get("count"):
@@ -426,6 +461,12 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         help="trace every n-th request (1 = all)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the kernel wall-time-per-sim-second breakdown "
+             "('trace' only)",
     )
     parser.add_argument(
         "--workers",

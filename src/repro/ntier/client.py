@@ -19,7 +19,7 @@ from typing import Callable, Generator, List, Optional
 
 import numpy as np
 
-from ..sim.core import Simulator
+from ..sim.core import Simulator, Timeout
 from .app import NTierApplication
 from .request import Request
 from .tcp import DEFAULT_TCP, RetransmissionPolicy
@@ -163,12 +163,13 @@ class ClosedLoopClient:
         tandem = self.tandem
         exponential = self.rng.exponential
         think_time = self.think_time
-        timeout = sim.timeout
         while True:
             request = factory(self.requests_sent)
             self.requests_sent += 1
             yield from fetch(sim, app, request, tcp=tcp, tandem=tandem)
-            yield timeout(float(exponential(think_time)))
+            # Direct construction skips the sim.timeout() wrapper frame
+            # (one think timer per request across the population).
+            yield Timeout(sim, float(exponential(think_time)))
 
 
 class UserPopulation:

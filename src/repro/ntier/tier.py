@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..hardware.vm import VirtualMachine
-from ..sim.core import _PENDING, Simulator
+from ..sim.core import _PENDING, Simulator, Timeout
 from ..sim.resources import CapacityError, Resource
 from .request import Request
 
@@ -238,13 +238,16 @@ class Tier:
                             )
                     if net_delay > 0:
                         hop = sim._now
-                        yield sim.timeout(net_delay)
+                        # Direct construction skips the sim.timeout()
+                        # wrapper frame — two hops per downstream call
+                        # makes this one of the hottest event sites.
+                        yield Timeout(sim, net_delay)
                         if trace is not None:
                             trace.add("net", net_names[1], hop, sim._now)
                     yield from downstream.handle(request)
                     if net_delay > 0:
                         hop = sim._now
-                        yield sim.timeout(net_delay)
+                        yield Timeout(sim, net_delay)
                         if trace is not None:
                             trace.add("net", net_names[2], hop, sim._now)
                 if post > 0:

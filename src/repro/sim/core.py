@@ -2,7 +2,7 @@
 
 This module provides the event loop that every other subsystem of the
 reproduction is built on: a :class:`Simulator` with a time-ordered event
-heap, one-shot :class:`Event` objects, :class:`Timeout` events, and
+queue, one-shot :class:`Event` objects, :class:`Timeout` events, and
 generator-based :class:`Process` coroutines in the style of SimPy (but
 self-contained, so the reproduction has no runtime dependency beyond
 numpy).
@@ -30,22 +30,35 @@ repetition for speed; the invariants it preserves are spelled out in
 DESIGN.md ("Kernel invariants") and enforced byte-for-byte by
 ``tests/test_determinism.py``:
 
-* **Heap stability / FIFO tie-breaking.**  Heap entries are
-  ``(time, priority, seq, event)`` with ``seq`` a monotone counter, so
-  events scheduled at the same instant and priority dispatch in
-  scheduling order, deterministically.
-* **Entry reuse for bare callbacks.**  :meth:`Simulator.defer_at`
-  schedules a plain callable wrapped in a 1-slot :class:`_Deferred`
-  instead of a full :class:`Event` (no callbacks list, no value, no
-  failure bookkeeping).  Consumers that re-arm timers on every state
-  change (the processor-sharing server) leave superseded entries in the
-  heap to be lazily discarded at dispatch via a generation check,
-  rather than paying O(n) heap deletion.
+* **Two-level event queue.**  The schedule is split by priority class.
+  *Urgent* events (``succeed()``/``fail()``/interrupts — everything the
+  old kernel pushed at ``(now, URGENT, seq)``) are only ever scheduled
+  at the current instant, so a plain FIFO deque (``_imm``) realises
+  their total order exactly: same-timestamp batches are delivered
+  through slot ``popleft`` instead of per-event heap traffic.  *Timed*
+  events (``NORMAL`` priority) go into a bucketed calendar wheel —
+  ``wheel_buckets`` buckets of ``bucket_width`` seconds — holding
+  ``(time, seq, obj)`` entries, with a spill heap for entries beyond
+  the current window.  Buckets are append-only until the consume cursor
+  reaches them, then sorted once; the common pop is an index bump, not
+  a heap sift.  The dispatch order is provably identical to the old
+  single heap's ``(time, priority, seq)`` order — see DESIGN.md §6 for
+  the proof sketch and the window-rotation rules.
+* **FIFO tie-breaking.**  ``seq`` is a monotone counter over timed
+  entries; urgent order is deque order.  Events scheduled at the same
+  instant and priority dispatch in scheduling order, deterministically.
+* **Entry reuse for bare callbacks.**  Dispatch treats any queue entry
+  whose ``callbacks`` attribute is ``None`` as a *bare timer* and calls
+  ``entry.fire()`` directly — no callbacks list, no value, no failure
+  bookkeeping.  :meth:`Simulator.defer_at` wraps a plain callable in a
+  1-slot :class:`_Deferred`; the processor-sharing server schedules its
+  own timer objects this way and lazily discards superseded ones via a
+  generation check rather than paying O(n) queue deletion.
 * **Inlined dispatch.**  :meth:`Simulator.run` repeats the body of
   :meth:`Simulator.step` inline with locals bound outside the loop;
   both must stay semantically identical.
 * **Batched cyclic GC.**  Event dispatch allocates heavily (events,
-  heap entries, generator frames) and CPython's default generation-0
+  queue entries, generator frames) and CPython's default generation-0
   cadence (every ~700 allocations) costs ~15% of kernel wall time at
   population scale.  :meth:`Simulator.run` therefore disables the
   cyclic collector for the duration of the loop and runs one
@@ -64,6 +77,8 @@ DESIGN.md ("Kernel invariants") and enforced byte-for-byte by
 from __future__ import annotations
 
 import gc as _gc
+from bisect import insort
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -83,15 +98,21 @@ __all__ = [
 _PENDING = object()
 
 #: Scheduling priority for events triggered "right now" (e.g. succeed()).
+#: Kept for documentation/compatibility: urgent events now live in the
+#: FIFO deque ``Simulator._imm`` rather than carrying a priority field.
 URGENT = 0
-#: Scheduling priority for ordinary timed events.
+#: Scheduling priority for ordinary timed events (calendar wheel/spill).
 NORMAL = 1
+
+_INF = float("inf")
 
 #: Dispatched events between generation-1 cyclic-GC collections inside
 #: :meth:`Simulator.run` (see "Batched cyclic GC" in the module
-#: docstring).  ~250k events is a few seconds of 10k-user simulation
-#: and tens of MB of uncollected cycles at most.
-_GC_EVENT_BATCH = 250_000
+#: docstring).  ~500k events is a few seconds of 10k-user simulation;
+#: measured on the flagship traced run, peak RSS is unchanged versus a
+#: 4x smaller batch (young cycles die to refcounting long before the
+#: collector sees them) while each skipped collection saves ~90 ms.
+_GC_EVENT_BATCH = 500_000
 
 
 class SimulationError(Exception):
@@ -167,9 +188,7 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        sim = self.sim
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now, URGENT, seq, self))
+        self.sim._imm.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -185,9 +204,7 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        sim = self.sim
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now, URGENT, seq, self))
+        self.sim._imm.append(self)
         return self
 
     def defuse(self) -> None:
@@ -205,7 +222,8 @@ class Timeout(Event):
     """An event that triggers after a fixed delay.
 
     Construction is flattened (no ``super().__init__`` chain): a timeout
-    is born triggered-but-unprocessed and goes straight onto the heap.
+    is born triggered-but-unprocessed and goes straight into the
+    calendar wheel.
     """
 
     __slots__ = ("delay",)
@@ -219,23 +237,27 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, NORMAL, seq, self))
+        sim._push_timed(sim._now + delay, self)
 
 
 class _Deferred:
-    """A bare scheduled callback: one heap entry, no Event machinery.
+    """A bare scheduled callback: one queue entry, no Event machinery.
 
-    Dispatch calls ``fn()`` directly — no callbacks list is allocated,
-    no value/failure bookkeeping happens.  Used for high-churn timers
-    (the processor-sharing server re-arms one per state change) where
-    superseded entries are lazily discarded by their own ``fn``.
+    Any queue entry whose ``callbacks`` attribute is ``None`` is
+    dispatched as ``entry.fire()`` — no callbacks list is allocated, no
+    value/failure bookkeeping happens.  ``_Deferred`` stores the
+    callable directly in its ``fire`` slot; other subsystems (the
+    processor-sharing server) provide their own objects implementing
+    the same ``callbacks = None`` / ``fire()`` protocol.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fire",)
+
+    #: Marks this entry as a bare timer for the dispatch loop.
+    callbacks = None
 
     def __init__(self, fn: Callable[[], None]):
-        self.fn = fn
+        self.fire = fn
 
 
 class _Initialize(Event):
@@ -249,8 +271,7 @@ class _Initialize(Event):
         self._value = None
         self._ok = True
         self._defused = False
-        sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now, URGENT, seq, self))
+        sim._imm.append(self)
 
 
 class Process(Event):
@@ -304,10 +325,19 @@ class Process(Event):
         failure._ok = False
         failure._value = Interrupt(cause)
         failure._defused = True
-        self.sim._schedule(failure, self.sim._now, URGENT)
+        self.sim._imm.append(failure)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if self._value is not _PENDING:
+            # Stale wakeup: the process already terminated.  Reachable
+            # when a resume callback could not be detached — e.g. the
+            # target event was mid-dispatch (callbacks already captured)
+            # when interrupt() ran, or the process was interrupted twice
+            # before the first failure was delivered — and the process
+            # then finished on the earlier wakeup.  Resuming would throw
+            # into a closed generator; there is nothing left to advance.
+            return
         sim = self.sim
         generator = self._generator
         presume = self._presume
@@ -419,7 +449,15 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The discrete-event simulation core: clock plus event heap.
+    """The discrete-event simulation core: clock plus two-level queue.
+
+    Urgent (same-instant) events live in the ``_imm`` FIFO deque; timed
+    events live in a calendar wheel of ``wheel_buckets`` buckets, each
+    ``bucket_width`` seconds wide, with a ``_spill`` heap for entries
+    beyond the current window (``wheel_buckets * bucket_width`` seconds
+    long).  The defaults are tuned for the n-tier workload (sub-ms
+    service quanta and network delays, multi-second think times); both
+    knobs only affect speed, never results.
 
     A single optional *hooks* object (see :meth:`attach_hooks`) lets an
     observer — e.g. :class:`repro.obs.bus.KernelProfiler` — watch every
@@ -427,10 +465,62 @@ class Simulator:
     is one ``None`` check per event.
     """
 
-    def __init__(self):
+    # Slotted: the dispatch loop touches ~10 of these per event, and an
+    # offset load beats an instance-dict lookup at that frequency.
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_imm",
+        "_width",
+        "_inv_width",
+        "_nbuckets",
+        "_nlast",
+        "_span",
+        "_buckets",
+        "_window_start",
+        "_window_end",
+        "_active_idx",
+        "_active_pos",
+        "_timed_count",
+        "_spill",
+        "_active_process",
+        "_hooks",
+        "_hook_stride",
+        "_hook_countdown",
+    )
+
+    def __init__(
+        self, bucket_width: float = 1e-3, wheel_buckets: int = 8192
+    ):
+        if not bucket_width > 0.0:
+            raise SimulationError(
+                f"bucket_width must be > 0: {bucket_width!r}"
+            )
+        if wheel_buckets < 1:
+            raise SimulationError(
+                f"wheel_buckets must be >= 1: {wheel_buckets!r}"
+            )
         self._now = 0.0
-        self._heap: List[tuple] = []
         self._seq = 0
+        #: Urgent events, dispatched FIFO before any timed entry.
+        self._imm: deque = deque()
+        # Calendar wheel state.  Entries are (time, seq, obj) tuples;
+        # see DESIGN.md §6 for the cursor/sortedness invariants.
+        self._width = float(bucket_width)
+        self._inv_width = 1.0 / self._width
+        self._nbuckets = int(wheel_buckets)
+        self._nlast = self._nbuckets - 1
+        self._span = self._width * self._nbuckets
+        self._buckets: List[List[tuple]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        self._window_start = 0.0
+        self._window_end = self._span
+        self._active_idx = 0
+        self._active_pos = 0
+        self._timed_count = 0
+        #: Far-future timed entries, beyond the current wheel window.
+        self._spill: List[tuple] = []
         self._active_process: Optional[Process] = None
         self._hooks: Optional[Any] = None
         self._hook_stride = 1
@@ -445,6 +535,11 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-undispatched events (all queues)."""
+        return self._timed_count + len(self._spill) + len(self._imm)
 
     # -- event construction helpers ------------------------------------
 
@@ -487,7 +582,7 @@ class Simulator:
     def attach_hooks(self, hooks: Any) -> None:
         """Attach a kernel observer.
 
-        ``hooks`` must provide ``on_events(count, now, heap_len)`` and
+        ``hooks`` must provide ``on_events(count, now, pending)`` and
         ``on_process(process)``; an optional ``on_attach(sim)`` runs
         immediately.  ``on_events`` is *batched*: the dispatch loop
         calls it once every ``hooks.event_stride`` dispatched events
@@ -503,7 +598,7 @@ class Simulator:
         on_events = getattr(hooks, "on_events", None)
         if on_events is None:
             raise SimulationError(
-                "hooks object must provide on_events(count, now, heap_len)"
+                "hooks object must provide on_events(count, now, pending)"
             )
         stride = int(getattr(hooks, "event_stride", 1) or 1)
         if stride < 1:
@@ -530,7 +625,7 @@ class Simulator:
         pending = self._hook_stride - self._hook_countdown
         if pending:
             self._hook_countdown = self._hook_stride
-            hooks.on_events(pending, self._now, len(self._heap))
+            hooks.on_events(pending, self._now, self.pending_events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Composite event triggering when any input event triggers."""
@@ -554,7 +649,7 @@ class Simulator:
         ev._ok = True
         ev._value = None
         ev.callbacks.append(lambda _ev: fn())
-        self._schedule(ev, time, NORMAL)
+        self._push_timed(time, ev)
         return ev
 
     def call_in(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -564,7 +659,7 @@ class Simulator:
     def defer_at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule bare ``fn()`` at absolute time ``time`` (not waitable).
 
-        The cheap sibling of :meth:`call_at`: one heap entry, no Event.
+        The cheap sibling of :meth:`call_at`: one queue entry, no Event.
         Scheduling order relative to every other entry is identical to
         ``call_at`` (same priority, same sequence counter).
         """
@@ -572,8 +667,7 @@ class Simulator:
             raise SimulationError(
                 f"defer_at({time}) is in the past (now={self._now})"
             )
-        self._seq = seq = self._seq + 1
-        heappush(self._heap, (time, NORMAL, seq, _Deferred(fn)))
+        self._push_timed(time, _Deferred(fn))
 
     def defer_in(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule bare ``fn()`` after ``delay`` seconds (not waitable)."""
@@ -582,23 +676,178 @@ class Simulator:
     # -- scheduling / main loop ----------------------------------------
 
     def _schedule(self, event: Event, time: float, priority: int) -> None:
+        """Back-compat shim: route an entry to the right queue."""
+        if priority == URGENT:
+            self._imm.append(event)
+        else:
+            self._push_timed(time, event)
+
+    def _push_timed(self, time: float, obj: Any) -> None:
+        """Enqueue ``obj`` at absolute ``time`` (NORMAL priority).
+
+        ``obj`` is an :class:`Event` or a bare-timer object
+        (``callbacks is None`` + ``fire()``).  ``time`` must be
+        ``>= self._now`` and finite; callers check the former, the
+        spill branch rejects the latter.
+        """
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (time, priority, seq, event))
+        if time < self._window_end:
+            idx = int((time - self._window_start) * self._inv_width)
+            nlast = self._nlast
+            if idx > nlast:
+                # Float round-up at the window edge: the last bucket
+                # owns [window_end - width, window_end).
+                idx = nlast
+            active = self._active_idx
+            bucket = self._buckets[idx]
+            if idx > active:
+                # Future bucket: append unsorted; sorted on activation.
+                bucket.append((time, seq, obj))
+            elif idx == active:
+                # Active bucket: keep [pos:] sorted.  The new entry
+                # orders >= every consumed entry (time >= now and seq
+                # is fresh), so inserting at >= pos is always correct.
+                insort(bucket, (time, seq, obj), self._active_pos)
+            else:
+                # Demotion: the cursor skipped this (empty) bucket when
+                # scanning forward, or halted past it at a run(horizon)
+                # boundary.  Only reachable while the current active
+                # bucket has no live-and-consumed mix: either pos == 0
+                # (nothing consumed) or pos == len (fully consumed
+                # leftover, safe to drop).
+                abucket = self._buckets[active]
+                if self._active_pos >= len(abucket):
+                    abucket.clear()
+                bucket.append((time, seq, obj))
+                bucket.sort()
+                self._active_idx = idx
+                self._active_pos = 0
+            self._timed_count += 1
+        else:
+            if time == _INF or time != time:
+                raise SimulationError(
+                    f"cannot schedule at non-finite time: {time!r}"
+                )
+            heappush(self._spill, (time, seq, obj))
+
+    def _normalize_wheel(self) -> None:
+        """Advance the cursor to the next non-empty bucket and sort it.
+
+        Precondition: ``_timed_count > 0`` and the active bucket is
+        exhausted (``_active_pos >= len(bucket)``).  All live entries
+        sit in buckets after the active one, so the forward scan always
+        terminates inside the wheel.
+        """
+        buckets = self._buckets
+        idx = self._active_idx
+        bucket = buckets[idx]
+        if bucket:
+            bucket.clear()
+        idx += 1
+        while not buckets[idx]:
+            idx += 1
+        buckets[idx].sort()
+        self._active_idx = idx
+        self._active_pos = 0
+
+    def _rotate_to_spill(self) -> None:
+        """Move the window forward to the spill head and refill the wheel.
+
+        Precondition: the wheel is empty (``_timed_count == 0``) and
+        ``_spill`` is not.  Rotation is only ever performed on a pop
+        path immediately followed by consuming the new head — never on
+        a peek — so no insert can observe a window that starts after
+        ``now``'s bucket.
+        """
+        bucket = self._buckets[self._active_idx]
+        if bucket:
+            bucket.clear()
+        spill = self._spill
+        t0 = spill[0][0]
+        span = self._span
+        # Align the window to a span multiple containing t0, guarding
+        # both float round-down (ws > t0) and round-up (t0 >= we).
+        ws = int(t0 / span) * span
+        if ws > t0:
+            ws -= span
+        we = ws + span
+        if t0 >= we:
+            ws = we
+            we = ws + span
+        self._window_start = ws
+        self._window_end = we
+        buckets = self._buckets
+        inv = self._inv_width
+        nlast = self._nlast
+        min_idx = nlast
+        count = 0
+        pop = heappop
+        while spill and spill[0][0] < we:
+            entry = pop(spill)
+            idx = int((entry[0] - ws) * inv)
+            if idx > nlast:
+                idx = nlast
+            buckets[idx].append(entry)
+            if idx < min_idx:
+                min_idx = idx
+            count += 1
+        self._timed_count = count
+        # Entries drain from the spill heap in (time, seq) order, so
+        # every refilled bucket is already sorted; sorting the first
+        # one keeps the active-bucket invariant explicit and is O(n).
+        buckets[min_idx].sort()
+        self._active_idx = min_idx
+        self._active_pos = 0
+
+    def _pop_timed(self) -> Optional[tuple]:
+        """Pop the earliest timed entry, or None if none remain."""
+        while True:
+            pos = self._active_pos
+            bucket = self._buckets[self._active_idx]
+            if pos < len(bucket):
+                self._active_pos = pos + 1
+                self._timed_count -= 1
+                return bucket[pos]
+            if self._timed_count:
+                self._normalize_wheel()
+                continue
+            if not self._spill:
+                return None
+            self._rotate_to_spill()
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Urgent events are always due at the current time.  Peeking may
+        normalize the wheel cursor (sorting the next bucket) but never
+        rotates the window — rotation is reserved for pop paths.
+        """
+        if self._imm:
+            return self._now
+        if self._timed_count:
+            bucket = self._buckets[self._active_idx]
+            if self._active_pos >= len(bucket):
+                self._normalize_wheel()
+                bucket = self._buckets[self._active_idx]
+            return bucket[self._active_pos][0]
+        if self._spill:
+            return self._spill[0][0]
+        return _INF
 
     def step(self) -> None:
         """Process the single next event.
 
         NOTE: the dispatch body is inlined (with loop-hoisted locals)
-        in each of :meth:`run`'s three loops; keep them in sync.
+        in each of :meth:`run`'s loops; keep them in sync.
         """
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        time, _priority, _seq, event = heappop(self._heap)
-        self._now = time
+        if self._imm:
+            event = self._imm.popleft()
+        else:
+            entry = self._pop_timed()
+            if entry is None:
+                raise SimulationError("step() on an empty schedule")
+            self._now = entry[0]
+            event = entry[2]
         if self._hooks is not None:
             countdown = self._hook_countdown - 1
             if countdown:
@@ -606,14 +855,21 @@ class Simulator:
             else:
                 self._hook_countdown = self._hook_stride
                 self._hooks.on_events(
-                    self._hook_stride, time, len(self._heap)
+                    self._hook_stride, self._now, self.pending_events
                 )
-        if event.__class__ is _Deferred:
-            event.fn()
+        callbacks = event.callbacks
+        if callbacks is None:
+            event.fire()
             return
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        event.callbacks = None
+        if len(callbacks) == 1:
+            # Nearly every event has exactly one waiter (a process's
+            # resume callback); skipping the iterator protocol for that
+            # case is measurable at kernel scale.
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event._defused:
             # A failure nobody handled: surface it instead of silently
             # dropping the exception.
@@ -636,44 +892,72 @@ class Simulator:
             if manage_gc:
                 _gc.enable()
 
-    def _run(self, until: Any) -> Any:
-        heap = self._heap
-        pop = heappop
-        deferred = _Deferred
-        budget = _GC_EVENT_BATCH
+    def _drain(self) -> None:
+        """Dispatch events until the schedule is empty.
 
-        if until is None:
-            while heap:
-                entry = pop(heap)
-                event = entry[3]
-                self._now = entry[0]
-                if self._hooks is not None:
-                    countdown = self._hook_countdown - 1
-                    if countdown:
-                        self._hook_countdown = countdown
-                    else:
-                        self._hook_countdown = self._hook_stride
-                        self._hooks.on_events(
-                            self._hook_stride, entry[0], len(heap)
-                        )
-                budget -= 1
-                if not budget:
-                    _gc.collect(1)
-                    budget = _GC_EVENT_BATCH
-                if event.__class__ is deferred:
-                    event.fn()
+        Shared by ``run()`` and ``run(until=Event)`` — the latter stops
+        early via :class:`StopSimulation` raised from a callback.
+        """
+        imm = self._imm
+        imm_pop = imm.popleft
+        buckets = self._buckets
+        budget = _GC_EVENT_BATCH
+        # Loop-hoisted: hooks (if any) are attached before run() — the
+        # attach/detach API is not meant to be called from callbacks.
+        hooks = self._hooks
+        while True:
+            if imm:
+                event = imm_pop()
+            else:
+                pos = self._active_pos
+                bucket = buckets[self._active_idx]
+                if pos < len(bucket):
+                    entry = bucket[pos]
+                    self._active_pos = pos + 1
+                    self._timed_count -= 1
+                elif self._timed_count:
+                    self._normalize_wheel()
                     continue
-                callbacks = event.callbacks
-                event.callbacks = None
+                elif self._spill:
+                    self._rotate_to_spill()
+                    continue
+                else:
+                    return
+                self._now = entry[0]
+                event = entry[2]
+            if hooks is not None:
+                countdown = self._hook_countdown - 1
+                if countdown:
+                    self._hook_countdown = countdown
+                else:
+                    self._hook_countdown = self._hook_stride
+                    hooks.on_events(
+                        self._hook_stride, self._now, self.pending_events
+                    )
+            budget -= 1
+            if not budget:
+                _gc.collect(1)
+                budget = _GC_EVENT_BATCH
+            callbacks = event.callbacks
+            if callbacks is None:
+                event.fire()
+                continue
+            event.callbacks = None
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
                 for callback in callbacks:
                     callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+            if not event._ok and not event._defused:
+                raise event._value
+
+    def _run(self, until: Any) -> Any:
+        if until is None:
+            self._drain()
             return None
 
         if isinstance(until, Event):
             if until.triggered:
-                # Still drain same-time callbacks for determinism.
                 return until.value if until._ok else None
 
             def _stop(event: Event) -> None:
@@ -681,25 +965,7 @@ class Simulator:
 
             until.callbacks.append(_stop)
             try:
-                while heap:
-                    entry = pop(heap)
-                    event = entry[3]
-                    self._now = entry[0]
-                    if self._hooks is not None:
-                        self._hooks.on_event(event, entry[0], len(heap))
-                    budget -= 1
-                    if not budget:
-                        _gc.collect(1)
-                        budget = _GC_EVENT_BATCH
-                    if event.__class__ is deferred:
-                        event.fn()
-                        continue
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        raise event._value
+                self._drain()
             except StopSimulation:
                 if not until._ok:
                     until._defused = True
@@ -714,30 +980,58 @@ class Simulator:
             raise SimulationError(
                 f"run(until={horizon}) is in the past (now={self._now})"
             )
-        while heap and heap[0][0] <= horizon:
-            entry = pop(heap)
-            event = entry[3]
-            self._now = entry[0]
-            if self._hooks is not None:
+        imm = self._imm
+        imm_pop = imm.popleft
+        buckets = self._buckets
+        budget = _GC_EVENT_BATCH
+        hooks = self._hooks
+        while True:
+            if imm:
+                event = imm_pop()
+            else:
+                pos = self._active_pos
+                bucket = buckets[self._active_idx]
+                if pos < len(bucket):
+                    entry = bucket[pos]
+                    if entry[0] > horizon:
+                        break
+                    self._active_pos = pos + 1
+                    self._timed_count -= 1
+                elif self._timed_count:
+                    self._normalize_wheel()
+                    continue
+                elif self._spill:
+                    if self._spill[0][0] > horizon:
+                        break
+                    self._rotate_to_spill()
+                    continue
+                else:
+                    break
+                self._now = entry[0]
+                event = entry[2]
+            if hooks is not None:
                 countdown = self._hook_countdown - 1
                 if countdown:
                     self._hook_countdown = countdown
                 else:
                     self._hook_countdown = self._hook_stride
-                    self._hooks.on_events(
-                        self._hook_stride, entry[0], len(heap)
+                    hooks.on_events(
+                        self._hook_stride, self._now, self.pending_events
                     )
             budget -= 1
             if not budget:
                 _gc.collect(1)
                 budget = _GC_EVENT_BATCH
-            if event.__class__ is deferred:
-                event.fn()
-                continue
             callbacks = event.callbacks
+            if callbacks is None:
+                event.fire()
+                continue
             event.callbacks = None
-            for callback in callbacks:
-                callback(event)
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
             if not event._ok and not event._defused:
                 raise event._value
         self._now = horizon

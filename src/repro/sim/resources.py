@@ -14,10 +14,9 @@ Provides the concurrency-control building blocks the n-tier model needs:
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Any, Deque, Dict, Optional
 
-from .core import _PENDING, URGENT, Event, SimulationError, Simulator
+from .core import _PENDING, Event, SimulationError, Simulator
 
 __all__ = ["Resource", "Request", "Store", "Container", "CapacityError"]
 
@@ -118,11 +117,10 @@ class Resource:
             if len(users) > self.peak_in_use:
                 self.peak_in_use = len(users)
             # Inlined req.succeed(): a fresh Request is always pending.
+            # Grants are urgent (due now) — straight into the FIFO deque.
             req._ok = True
             req._value = None
-            sim = self.sim
-            sim._seq = seq = sim._seq + 1
-            heappush(sim._heap, (sim._now, URGENT, seq, req))
+            self.sim._imm.append(req)
             return req
         if self.max_queue is not None and len(self.queue) >= self.max_queue:
             self.total_rejections += 1
@@ -154,9 +152,7 @@ class Resource:
             # Inlined nxt.succeed() (pending checked just above).
             nxt._ok = True
             nxt._value = None
-            sim = self.sim
-            sim._seq = seq = sim._seq + 1
-            heappush(sim._heap, (sim._now, URGENT, seq, nxt))
+            self.sim._imm.append(nxt)
             break
 
     def cancel(self, request: Request) -> None:

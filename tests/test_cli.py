@@ -36,3 +36,18 @@ class TestCli:
         for name, (description, runner) in EXPERIMENTS.items():
             assert len(description) > 10
             assert callable(runner)
+
+    def test_trace_unknown_scenario_fails(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_trace_profile_prints_breakdown(self, capsys, tmp_path):
+        assert main([
+            "trace", "fig2", "--duration", "6",
+            "--users", "50", "--profile", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel profile: wall ms per sim-second" in out
+        assert "peak" in out
+        # The per-bin rows end with the totals line.
+        assert "total" in out
