@@ -7,7 +7,10 @@
 dumps JSONL spans + a Chrome trace_event file, and prints the
 root-cause attribution report (the programmatic Fig 9);
 ``python -m repro sweep fig2 --workers 4`` regenerates a figure through
-the parallel sweep engine with content-addressed run caching.
+the parallel sweep engine with content-addressed run caching;
+``python -m repro monitor fig9`` runs a scenario under the live
+telemetry pipeline, printing streaming per-window tail quantiles,
+adaptive-tracer retention, and SLO violations as the run progresses.
 """
 
 from __future__ import annotations
@@ -407,6 +410,133 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _write_monitor_json(path: str, record: Dict) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+
+def _run_monitor(args) -> int:
+    """The ``monitor`` subcommand: live streaming-telemetry display.
+
+    Runs the scenario with :class:`repro.obs.LiveTelemetry` attached
+    and a display callback on the pipeline's window hook, so each
+    1-second (by default) window prints the moment it closes — the
+    interval-by-interval view an operator would watch, produced while
+    the simulation is still running.
+    """
+    from .experiments.runner import run_rubbos
+    from .obs import TelemetryConfig
+    from .obs.streaming import E2E
+
+    scenarios = _trace_scenarios()
+    if args.scenario is None or args.scenario not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        print(
+            f"monitor needs a scenario name (one of: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = scenarios[args.scenario]
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.users is not None:
+        overrides["users"] = args.users
+    if overrides:
+        scenario = replace(scenario, **overrides)
+
+    config = TelemetryConfig(
+        window=args.window,
+        slo=args.slo,
+        trace_budget_per_window=args.budget,
+    )
+    print(
+        f"monitoring scenario {args.scenario!r} "
+        f"({scenario.users} users, {scenario.duration:.0f}s, "
+        f"{config.window:g}s windows"
+        + (f", SLO p{config.slo_quantile:g} < {config.slo:g}s"
+           if config.slo is not None else "")
+        + ")..."
+    )
+    started = time.time()
+    # Build with the clock held at zero so the display callback is in
+    # place before the first window closes, then run for real.
+    run = run_rubbos(replace(scenario, duration=0.0), telemetry=config)
+    live = run.telemetry
+    assert live is not None
+
+    print(
+        f"{'window':>13}  {'done':>5} {'fail':>4} {'drop':>4}  "
+        f"{'p50':>7} {'p99':>7} {'p99.9':>7}  {'traces':>7} {'stride':>6}"
+    )
+
+    def show(report):
+        def cell(q):
+            value = report.quantile(q, E2E)
+            return "-".rjust(7) if value is None else f"{value * 1e3:6.0f}m"
+
+        marks = ""
+        if live.detector is not None:
+            if live.detector.onsets and (
+                live.detector.onsets[-1][0] == report.end
+            ):
+                marks += "  << onset"
+            if live.detector.violations and (
+                live.detector.violations[-1][0] == report.end
+            ):
+                marks += "  !! SLO violation"
+        kept = f"{report.base_retained}+{report.promoted}"
+        print(
+            f"[{report.start:5.1f},{report.end:5.1f})  "
+            f"{report.completed:5d} {report.failed:4d} {report.dropped:4d}  "
+            f"{cell(50.0)} {cell(99.0)} {cell(99.9)}  "
+            f"{kept:>7} {report.stride:6d}{marks}"
+        )
+
+    live.pipeline.on_window.append(show)
+    run.sim.run(until=scenario.duration)
+    live.finalize(scenario.duration)
+
+    report = live.report()
+    tracer = report["traces"]
+    print(
+        f"\ncumulative: "
+        + "  ".join(
+            f"p{q:g}="
+            f"{live.pipeline.estimate(q) * 1e3:.0f}ms"
+            for q in config.quantiles
+            if live.pipeline.estimate(q) is not None
+        )
+    )
+    print(
+        f"traces: {tracer['retained']} retained "
+        f"({tracer['base']} base + {tracer['promoted']} promoted), "
+        f"{tracer['discarded']} discarded, final stride {tracer['stride']}"
+    )
+    if live.detector is not None:
+        print(
+            f"slo: {len(live.detector.violations)} violating windows, "
+            f"{len(live.detector.onsets)} millibottleneck onsets"
+        )
+    kernel = report["kernel"]
+    print(
+        f"kernel: {kernel['events_dispatched']} events, "
+        f"{kernel.get('wall_per_sim_second', 0.0) * 1e3:.1f} ms wall "
+        f"per sim-second"
+    )
+    print(f"[monitor {args.scenario} done in {time.time() - started:.1f}s]")
+    if args.json:
+        record = dict(report)
+        record["experiment"] = args.scenario
+        record["windows_printed"] = len(live.pipeline.reports)
+        _write_monitor_json(args.json, record)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -421,7 +551,7 @@ def main(argv=None) -> int:
         default="list",
         help=(
             "experiment name, 'all', 'list' (default), 'trace', "
-            "or 'sweep'"
+            "'monitor', or 'sweep'"
         ),
     )
     parser.add_argument(
@@ -429,8 +559,8 @@ def main(argv=None) -> int:
         nargs="?",
         default=None,
         help=(
-            "scenario name for 'trace' (fig9, fig2, private-cloud, ec2) "
-            "or experiment name for 'sweep'"
+            "scenario name for 'trace'/'monitor' (fig9, fig2, "
+            "private-cloud, ec2) or experiment name for 'sweep'"
         ),
     )
     parser.add_argument(
@@ -442,13 +572,34 @@ def main(argv=None) -> int:
         "--duration",
         type=float,
         default=None,
-        help="override the scenario duration in seconds ('trace' only)",
+        help="override the scenario duration in seconds "
+             "('trace'/'monitor')",
     )
     parser.add_argument(
         "--users",
         type=int,
         default=None,
-        help="override the closed-loop user count ('trace' only)",
+        help="override the closed-loop user count ('trace'/'monitor')",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=1.0,
+        help="telemetry window length in seconds ('monitor' only)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="end-to-end tail SLO in seconds; enables the violation "
+             "detector ('monitor' only)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        help="full-trace retention budget per window for the adaptive "
+             "tracer ('monitor' only)",
     )
     parser.add_argument(
         "--threshold",
@@ -497,12 +648,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="append a sweep stats record to this JSON file",
+        help="write run stats to this JSON file ('sweep' appends a "
+             "record, 'monitor' writes its telemetry report)",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "trace":
         return _run_trace(args)
+
+    if args.experiment == "monitor":
+        return _run_monitor(args)
 
     if args.experiment == "sweep":
         return _run_sweep(args)
@@ -516,6 +671,10 @@ def main(argv=None) -> int:
         print(
             f"  {'trace <scenario>'.ljust(width)}  traced run + span "
             "dumps + root-cause attribution"
+        )
+        print(
+            f"  {'monitor <scenario>'.ljust(width)}  live streaming "
+            "telemetry: windowed tails, adaptive traces, SLO alerts"
         )
         print(
             f"  {'sweep <experiment>'.ljust(width)}  parallel + cached "

@@ -16,6 +16,20 @@ deliberately conservative: episodes must look like millibottlenecks
 steady overload instead wants auto-scaling, not migration), and several
 must accumulate within a sliding window before the defender pays the
 migration cost.
+
+Two trigger paths feed the same episode counter:
+
+* **post-hoc utilization** (``start()``) — the original loop: a
+  periodic process harvests closed saturation spans from a fine
+  utilization monitor, paying the span-closure plus check-interval
+  detection lag;
+* **live tail latency** (``attach_bus()``) — the streaming path: each
+  ``slo.violation`` published by the telemetry pipeline's
+  :class:`~repro.obs.streaming.TailSloDetector` counts as one episode
+  at the moment the violating window closes, so migration triggers on
+  *traced client-side damage* with no utilization monitor on the
+  victim at all.  This is the end of the paper's cat-and-mouse loop:
+  the symptom being defended (tail latency) is the trigger itself.
 """
 
 from __future__ import annotations
@@ -94,6 +108,31 @@ class MillibottleneckDefense:
         if self._proc is None:
             self.monitor.start()
             self._proc = self.sim.process(self._run())
+
+    def attach_bus(self, bus, topic: str = "slo.violation") -> "MillibottleneckDefense":
+        """Subscribe the live trigger path: violations are episodes.
+
+        Counts every published tail-SLO violation as one episode onset
+        (at the payload's window-close time) and migrates the moment
+        ``episodes_to_trigger`` of them accumulate inside ``window``,
+        subject to the usual cooldown.  Does not need — and does not
+        start — the utilization monitor or the periodic check process;
+        a defense may run either path or, for A/B instrumentation,
+        both (the episode list is shared).
+        """
+        bus.subscribe(topic, self._on_violation)
+        return self
+
+    def _on_violation(self, payload) -> None:
+        onset = float(payload["time"])
+        if onset < self._last_migration:
+            return  # stale: violation window predates the migration
+        self.episodes.append(onset)
+        if self.sim.now - self._last_migration < self.cooldown:
+            return
+        count = self._recent_episode_count()
+        if count >= self.episodes_to_trigger:
+            self._migrate(count)
 
     # -- detection ---------------------------------------------------------
 

@@ -25,12 +25,18 @@ import numpy as np
 from ..analysis.report import format_table
 from ..cloud.defense import MigrationEvent, MillibottleneckDefense
 from ..hardware.memory import MemorySubsystem
+from ..obs import TelemetryConfig
 from .configs import PRIVATE_CLOUD, RubbosScenario
 from .parallel import SweepCell, SweepExecutor, ensure_executor
 from .runner import RubbosRun, run_rubbos
 from .summary import RunSummary, summarize_rubbos
 
-__all__ = ["DefenseResult", "run_defense"]
+__all__ = [
+    "DefenseResult",
+    "LATENCY_DEFENSE_TELEMETRY",
+    "run_defense",
+    "run_rubbos_with_defense",
+]
 
 
 @dataclass
@@ -82,9 +88,10 @@ def defense_cell(spec) -> DefenseResult:
     The whole (picklable) :class:`DefenseResult` is assembled in the
     worker; the live run stays behind, summarized.
     """
-    scenario, window, recolocate_after, episodes_to_trigger = spec
+    scenario, window, recolocate_after, episodes_to_trigger = spec[:4]
+    trigger = spec[4] if len(spec) > 4 else "utilization"
     rubbos_run, defense, recolocations = run_rubbos_with_defense(
-        scenario, recolocate_after, episodes_to_trigger
+        scenario, recolocate_after, episodes_to_trigger, trigger=trigger
     )
     timeline = []
     start = scenario.warmup
@@ -115,11 +122,15 @@ def run_defense(
     recolocate_after: Optional[float] = None,
     episodes_to_trigger: int = 8,
     executor: Optional[SweepExecutor] = None,
+    trigger: str = "utilization",
 ) -> DefenseResult:
     """Run MemCA against a defended deployment.
 
     ``recolocate_after`` — seconds after each migration at which the
     adversary manages to co-locate with the victim again (None: never).
+    ``trigger`` — ``"utilization"`` for the post-hoc episode harvester,
+    ``"latency"`` for the live telemetry-driven path (see
+    :meth:`repro.cloud.defense.MillibottleneckDefense.attach_bus`).
     """
     if scenario is None:
         scenario = replace(
@@ -128,32 +139,63 @@ def run_defense(
     return ensure_executor(executor).run(
         SweepCell.make(
             "defense",
-            (scenario, window, recolocate_after, episodes_to_trigger),
+            (scenario, window, recolocate_after, episodes_to_trigger,
+             trigger),
         )
     )
+
+
+#: Telemetry configuration of the latency-triggered defense path: the
+#: SLO sits well above the quiet-tail P99 (~0.3 s at baseline) and
+#: well below the drop-driven attack tail (>= 1 s per TCP
+#: retransmission), so violating windows track attack damage, not
+#: noise.  One violating window needs no debounce partner — bursts are
+#: 0.5 s in 2 s intervals, so consecutive 1 s windows rarely both
+#: violate and requiring a streak would starve the episode counter.
+LATENCY_DEFENSE_TELEMETRY = TelemetryConfig(
+    slo=0.6, consecutive_windows=1
+)
 
 
 def run_rubbos_with_defense(
     scenario: RubbosScenario,
     recolocate_after: Optional[float],
     episodes_to_trigger: int,
+    trigger: str = "utilization",
+    telemetry: Optional[TelemetryConfig] = None,
 ):
     """Like :func:`run_rubbos`, plus the defense and the cat-and-mouse.
 
     Builds the scenario *without* running it to completion, installs
     the defense on the bottleneck VM and (optionally) an adversary
-    re-co-location process, then runs.
+    re-co-location process, then runs.  ``trigger="latency"`` swaps
+    the post-hoc utilization harvester for the live path: the run
+    carries the streaming telemetry stack and the defense consumes its
+    ``slo.violation`` topic instead of sampling the victim's CPU.
     """
+    if trigger not in ("utilization", "latency"):
+        raise ValueError(
+            f"trigger must be 'utilization' or 'latency': {trigger!r}"
+        )
     # Build everything but hold the clock at zero by using duration=0,
     # then attach the defense and run manually.
     setup = replace(scenario, duration=0.0)
-    run = run_rubbos(setup)
+    if trigger == "latency":
+        config = telemetry if telemetry is not None else (
+            LATENCY_DEFENSE_TELEMETRY
+        )
+        run = run_rubbos(setup, telemetry=config)
+    else:
+        run = run_rubbos(setup)
     sim = run.sim
     victim = run.deployment.vm(run.deployment.bottleneck.name)
     defense = MillibottleneckDefense(
         sim, victim, episodes_to_trigger=episodes_to_trigger
     )
-    defense.start()
+    if trigger == "latency":
+        defense.attach_bus(run.telemetry.bus)
+    else:
+        defense.start()
 
     recolocations: List[float] = []
     if recolocate_after is not None and run.attack is not None:
@@ -181,6 +223,8 @@ def run_rubbos_with_defense(
         sim.process(chase())
 
     sim.run(until=scenario.duration)
+    if run.telemetry is not None:
+        run.telemetry.finalize(scenario.duration)
     # Rebuild the run record with the real scenario (durations differ).
     run = RubbosRun(
         scenario=scenario,
@@ -192,5 +236,6 @@ def run_rubbos_with_defense(
         util_monitors=run.util_monitors,
         queue_sampler=run.queue_sampler,
         llc_profiler=run.llc_profiler,
+        telemetry=run.telemetry,
     )
     return run, defense, recolocations

@@ -25,7 +25,7 @@ from ..core.programs import (
 )
 from ..monitoring.oprofile import LLCMissProfiler
 from ..monitoring.sampler import PeriodicSampler, UtilizationMonitor
-from ..obs import Observability
+from ..obs import LiveTelemetry, Observability, TelemetryConfig
 from ..ntier.request import Request
 from ..ntier.client import UserPopulation
 from ..sim.core import Simulator
@@ -99,6 +99,8 @@ class RubbosRun:
     llc_profiler: Optional[LLCMissProfiler]
     #: Present only when the run was started with ``tracing=True``.
     obs: Optional[Observability] = None
+    #: Present only when the run was started with ``telemetry=...``.
+    telemetry: Optional[LiveTelemetry] = None
 
     @property
     def app(self):
@@ -122,6 +124,7 @@ def run_rubbos(
     tracing: bool = False,
     trace_sample_every: int = 1,
     trace_columnar: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RubbosRun:
     """Build and execute one closed-loop RUBBoS scenario.
 
@@ -134,7 +137,24 @@ def run_rubbos(
     very long runs; ``trace_columnar=False`` swaps the columnar span
     store for per-span :class:`repro.obs.span.Trace` objects (same
     output, used by the determinism tests).
+
+    ``telemetry=TelemetryConfig(...)`` (or ``True`` for defaults)
+    attaches the *live* stack instead (:class:`repro.obs.LiveTelemetry`):
+    streaming windowed quantile sketches, the adaptive tracer with
+    slow-request promotion, and — when the config carries an SLO — the
+    tail-SLO detector publishing ``slo.violation`` /
+    ``millibottleneck.onset`` bus topics.  Like tracing, telemetry is
+    passive (no events, no RNG), so results are byte-identical with it
+    on or off.  ``tracing`` and ``telemetry`` are mutually exclusive —
+    both want to own ``app.tracer``.
     """
+    if telemetry is not None and tracing:
+        raise ValueError(
+            "tracing and telemetry are mutually exclusive; "
+            "the live telemetry stack already traces adaptively"
+        )
+    if telemetry is True:
+        telemetry = TelemetryConfig()
     streams = RandomStreams(scenario.seed)
     sim = Simulator()
     deployment = CloudDeployment(
@@ -148,11 +168,15 @@ def run_rubbos(
         ),
     )
     obs = None
+    live = None
     if tracing:
         obs = Observability(
             sample_every=trace_sample_every, columnar=trace_columnar
         )
         obs.attach(sim, deployment.app)
+    elif telemetry is not None:
+        live = LiveTelemetry(telemetry)
+        live.attach(sim, deployment.app)
     workload = RubbosWorkload(rng=streams.get("workload"))
     population = UserPopulation(
         sim,
@@ -222,6 +246,8 @@ def run_rubbos(
 
     with _population_frozen():
         sim.run(until=scenario.duration)
+    if live is not None:
+        live.finalize(scenario.duration)
     return RubbosRun(
         scenario=scenario,
         sim=sim,
@@ -233,6 +259,7 @@ def run_rubbos(
         queue_sampler=queue_sampler,
         llc_profiler=llc_profiler,
         obs=obs,
+        telemetry=live,
     )
 
 

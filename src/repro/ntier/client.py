@@ -98,6 +98,7 @@ def fetch(
                 trace.end(
                     sim._now, dropped=True, drop_tier=overflow.tier
                 )
+                tracer.dropped(request, overflow.tier)
             if rtos is None:
                 # Lazily built: most requests never see a drop, so the
                 # backoff iterator is only created on the first one.

@@ -28,27 +28,44 @@ from typing import Optional
 from .bus import EventBus, KernelProfiler
 from .columnar import SPAN_DTYPE, ColumnarTrace, SpanStore
 from .metrics import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from .sketch import LogHistogram, P2Quantile
 from .span import LEAF_KINDS, SPAN_KINDS, Span, Trace
+from .streaming import (
+    AdaptiveTracer,
+    LiveTelemetry,
+    TailSloDetector,
+    TelemetryConfig,
+    TelemetryPipeline,
+    WindowReport,
+)
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "AdaptiveTracer",
     "ColumnarTrace",
     "Counter",
     "EventBus",
     "Gauge",
     "KernelProfiler",
     "LEAF_KINDS",
+    "LiveTelemetry",
+    "LogHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "P2Quantile",
     "SPAN_DTYPE",
     "SPAN_KINDS",
     "Span",
     "SpanStore",
     "StreamingHistogram",
+    "TailSloDetector",
+    "TelemetryConfig",
+    "TelemetryPipeline",
     "Trace",
     "Tracer",
+    "WindowReport",
 ]
 
 

@@ -3,9 +3,11 @@
 :class:`EventBus` is an in-process publish/subscribe fabric: any
 component can ``publish(topic, payload)`` and any number of listeners
 receive it synchronously.  The tracer publishes request lifecycle
-topics (``request.completed`` / ``request.failed``); future consumers
-(live defense controllers, streaming exporters) subscribe without the
-emitting code knowing about them.
+topics (``request.started`` / ``request.dropped`` /
+``request.completed`` / ``request.failed``); consumers — the streaming
+telemetry pipeline (:mod:`repro.obs.streaming`), the latency-triggered
+defense (``slo.violation`` / ``millibottleneck.onset``), exporters —
+subscribe without the emitting code knowing about them.
 
 :class:`KernelProfiler` plugs into the :class:`~repro.sim.core.Simulator`
 hook slot (see ``Simulator.attach_hooks``) and measures the simulator
@@ -16,6 +18,7 @@ the kernel, not the model, is the bottleneck as scenarios scale.
 
 from __future__ import annotations
 
+import logging
 import time as _time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -24,13 +27,26 @@ from .metrics import MetricsRegistry
 
 __all__ = ["EventBus", "KernelProfiler"]
 
+_log = logging.getLogger(__name__)
+
 
 class EventBus:
-    """Synchronous topic-based publish/subscribe."""
+    """Synchronous topic-based publish/subscribe.
+
+    Publishers run inside the simulation kernel (the tracer publishes
+    from the request hot path), so delivery is *isolated*: a subscriber
+    that raises is logged and skipped instead of unwinding the client
+    coroutine that happened to publish, and the failure is tallied in
+    :attr:`delivery_errors`.  Subscribers may unsubscribe anyone —
+    including themselves — during a publish; delivery for the publish
+    in flight uses a snapshot of the subscription list.
+    """
 
     def __init__(self):
         self._subscribers: Dict[str, List[Callable[[Any], None]]] = {}
         self.published: Dict[str, int] = {}
+        #: topic -> count of subscriber callbacks that raised.
+        self.delivery_errors: Dict[str, int] = {}
 
     def subscribe(
         self, topic: str, fn: Callable[[Any], None]
@@ -47,14 +63,33 @@ class EventBus:
         return unsubscribe
 
     def publish(self, topic: str, payload: Any = None) -> int:
-        """Deliver ``payload`` to every subscriber; returns the count."""
+        """Deliver ``payload`` to every subscriber.
+
+        Returns the number of *successful* deliveries.  A subscriber
+        exception is logged and counted, never propagated: the bus sits
+        between the kernel's instrumentation sites and arbitrary
+        consumer code, and a broken consumer must not kill the
+        simulation it is observing.
+        """
         self.published[topic] = self.published.get(topic, 0) + 1
         listeners = self._subscribers.get(topic)
         if not listeners:
             return 0
+        delivered = 0
+        # Snapshot: subscribe/unsubscribe during delivery affects the
+        # next publish, not the one in flight.
         for fn in list(listeners):
-            fn(payload)
-        return len(listeners)
+            try:
+                fn(payload)
+                delivered += 1
+            except Exception:
+                self.delivery_errors[topic] = (
+                    self.delivery_errors.get(topic, 0) + 1
+                )
+                _log.exception(
+                    "subscriber %r failed on topic %r", fn, topic
+                )
+        return delivered
 
     def subscriber_count(self, topic: str) -> int:
         return len(self._subscribers.get(topic, ()))

@@ -114,6 +114,22 @@ class SpanStore:
             self.names.append(name)
         return nid
 
+    def adopt(self, trace: "ColumnarTrace") -> None:
+        """Register a trace created with ``register=False``.
+
+        The adaptive tracer (:mod:`repro.obs.streaming`) records every
+        request speculatively but *retains* only a budgeted sample plus
+        the promoted tail: traces start unregistered (their rows stage
+        on the trace object only) and enter the store — and therefore
+        :meth:`columns` packing — at the moment the retention decision
+        keeps them.  Unretained traces are simply dropped on the floor
+        and garbage-collected, which is what bounds traced memory at
+        full-population scale.
+        """
+        if trace.store is not self:
+            raise ValueError("trace belongs to a different store")
+        self.traces.append(trace)
+
     def columns(self) -> np.ndarray:
         """Pack every staged row into one structured array (copies).
 
@@ -166,7 +182,7 @@ class ColumnarTrace:
         "store", "rid", "data", "attrs", "_stack", "_tree", "_name_codes"
     )
 
-    def __init__(self, store: SpanStore, rid: int):
+    def __init__(self, store: SpanStore, rid: int, register: bool = True):
         self.store = store
         self.rid = rid
         #: Flat staged rows, :data:`ROW_STRIDE` slots each
@@ -181,7 +197,8 @@ class ColumnarTrace:
         # Direct ref to the shared intern table: one dict probe on the
         # hot path instead of two attribute hops through the store.
         self._name_codes = store._name_codes
-        store.traces.append(self)
+        if register:
+            store.traces.append(self)
 
     @property
     def depth(self) -> int:

@@ -1,0 +1,266 @@
+"""Streaming quantile sketches: O(1)-memory tail estimators.
+
+The paper's thesis is that millibottleneck damage lives *only* in the
+latency tail, so live monitoring has to answer percentile queries over
+an unbounded completion stream without retaining it.  Two sketches,
+complementary roles:
+
+* :class:`P2Quantile` — Jain & Chlamtac's P² marker algorithm: five
+  markers per tracked quantile, updated with a handful of float ops
+  per observation.  This is the *running* estimator the adaptive
+  tracer consults on every request completion to decide promotion
+  (see :mod:`repro.obs.streaming`) — cheap enough for the per-request
+  hot path, no bucket walk, no window boundary lag.
+* :class:`LogHistogram` — a DDSketch-style log-bucketed histogram with
+  a *guaranteed* relative accuracy: every value lands in the bucket
+  ``ceil(log_gamma(v))`` where ``gamma = (1 + a) / (1 - a)``, so any
+  quantile read back from bucket representatives is within relative
+  error ``a`` of the exact sample quantile.  Buckets are counts in a
+  dict, so memory is O(log(max/min) / a) regardless of stream length,
+  and two histograms merge by adding counts — which is how the
+  telemetry pipeline folds per-window sketches into run-cumulative
+  estimates (`repro.obs.streaming.TelemetryPipeline`).
+
+Both are deterministic (no RNG, unlike the reservoir-sampled
+:class:`~repro.obs.metrics.StreamingHistogram`) and observation-order
+dependent only in the ways the algorithms define, so fixed-seed runs
+produce identical telemetry byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = ["P2Quantile", "LogHistogram"]
+
+
+class P2Quantile:
+    """P² estimator of one quantile (Jain & Chlamtac 1985).
+
+    ``q`` is the target quantile in (0, 1), e.g. ``0.99``.  The first
+    five observations initialize the markers exactly; after that each
+    observation adjusts marker heights with the piecewise-parabolic
+    (P²) interpolation formula.  :attr:`estimate` is exact until five
+    observations have arrived (it falls back to the sorted buffer).
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {q}")
+        self.q = float(q)
+        self.count = 0
+        #: Marker heights (the first five observations until warm).
+        self._heights: List[float] = []
+        # 1-based marker positions and their desired counterparts.
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * q,
+            1.0 + 4.0 * q,
+            3.0 + 2.0 * q,
+            5.0,
+        ]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # Locate the cell k with heights[k] <= value < heights[k+1].
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 3
+            for i in range(1, 4):
+                if value < heights[i]:
+                    k = i - 1
+                    break
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rates[i]
+        # Adjust the three interior markers toward their desired spots.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """Current quantile estimate (None before any observation)."""
+        count = self.count
+        if count == 0:
+            return None
+        heights = self._heights
+        if count <= 5:
+            # Exact from the sorted warm-up buffer (nearest rank).
+            rank = max(0, min(count - 1, math.ceil(self.q * count) - 1))
+            return heights[rank]
+        return heights[2]
+
+
+class LogHistogram:
+    """Log-bucketed histogram with guaranteed relative accuracy.
+
+    ``relative_accuracy`` bounds the error of every quantile estimate:
+    with ``a = relative_accuracy`` and ``gamma = (1 + a) / (1 - a)``,
+    value ``v`` lands in bucket ``ceil(log_gamma(v))`` and is read back
+    as the bucket representative ``2 * gamma^i / (gamma + 1)``, which
+    is within ``a * v`` of any value the bucket can hold.  Values at or
+    below ``min_value`` collapse into a dedicated zero bucket (response
+    times are positive, so it only catches degenerate zeros).
+
+    Count/sum/min/max are tracked exactly; ``merge`` adds bucket counts
+    (same-accuracy sketches only), making windows foldable into
+    cumulative estimates.
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "min_value",
+        "_gamma_log",
+        "_gamma",
+        "buckets",
+        "zero_count",
+        "count",
+        "total",
+        "low",
+        "high",
+    )
+
+    def __init__(self, relative_accuracy: float = 0.01, min_value: float = 1e-9):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1): {relative_accuracy}"
+            )
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive: {min_value}")
+        self.relative_accuracy = float(relative_accuracy)
+        self.min_value = float(min_value)
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._gamma_log = math.log(self._gamma)
+        #: bucket index -> observation count.
+        self.buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.low = float("inf")
+        self.high = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.low:
+            self.low = value
+        if value > self.high:
+            self.high = value
+        if value <= self.min_value:
+            self.zero_count += 1
+            return
+        index = math.ceil(math.log(value) / self._gamma_log)
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s counts into this sketch (same accuracy)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different accuracies: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        self.low = min(self.low, other.low)
+        self.high = max(self.high, other.high)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty histogram")
+        return self.total / self.count
+
+    def _representative(self, index: int) -> float:
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def quantile(
+        self, q: Union[float, Iterable[float]]
+    ) -> Union[float, List[float]]:
+        """Quantile estimate(s), ``q`` in [0, 100] percentile units.
+
+        Estimates are clamped to the exact [min, max] watermarks, so
+        q=0 / q=100 are exact and no representative overshoots the
+        observed range.
+        """
+        if not isinstance(q, (int, float)):
+            return [self.quantile(single) for single in q]
+        if self.count == 0:
+            raise ValueError("empty histogram")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100]: {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                value = self._representative(index)
+                return min(max(value, self.low), self.high)
+        return self.high  # pragma: no cover - rank <= count always hits
+
+    def snapshot(self, percentiles=(50.0, 99.0, 99.9)) -> dict:
+        out = {
+            "type": "log_histogram",
+            "count": self.count,
+            "buckets": len(self.buckets),
+            "relative_accuracy": self.relative_accuracy,
+        }
+        if self.count:
+            out["mean"] = self.mean
+            out["min"] = self.low
+            out["max"] = self.high
+            for p in percentiles:
+                out[f"p{p:g}"] = self.quantile(p)
+        return out

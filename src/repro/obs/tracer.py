@@ -41,6 +41,9 @@ class NullTracer:
     def finish(self, request) -> None:
         return None
 
+    def dropped(self, request, tier: str) -> None:
+        return None
+
 
 class Tracer:
     """Records a span tree per adopted request.
@@ -71,8 +74,10 @@ class Tracer:
         self._seen = 0
         # Instruments resolved once — finish() runs per request.
         metrics = self.metrics
+        self._c_started = metrics.counter("requests.started")
         self._c_completed = metrics.counter("requests.completed")
         self._c_failed = metrics.counter("requests.failed")
+        self._c_dropped = metrics.counter("requests.dropped")
         self._c_retransmitted = metrics.counter("requests.retransmitted")
         self._c_tcp_retrans = metrics.counter("tcp.retransmissions")
         self._h_response_time = metrics.histogram("response_time")
@@ -89,7 +94,23 @@ class Tracer:
             trace = Trace(request.rid)
         request.trace = trace
         self.traces.append(trace)
+        self._c_started.inc()
+        if self.bus is not None:
+            self.bus.publish("request.started", request)
         return trace
+
+    def dropped(self, request, tier: str) -> None:
+        """One traced transmission attempt hit a full accept queue.
+
+        Called by the client fetch loop for adopted requests only (the
+        untraced ones run the null fast path), *before* the TCP backoff
+        begins — so streaming consumers see drops and retransmission
+        attempts as they happen, not one RTO later when the request
+        finally completes or fails.
+        """
+        self._c_dropped.inc()
+        if self.bus is not None:
+            self.bus.publish("request.dropped", request)
 
     def finish(self, request) -> None:
         """Fold a finished traced request into metrics and the bus."""

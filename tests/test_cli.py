@@ -51,3 +51,31 @@ class TestCli:
         assert "peak" in out
         # The per-bin rows end with the totals line.
         assert "total" in out
+
+    def test_monitor_unknown_scenario_fails(self, capsys):
+        assert main(["monitor", "nope"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_monitor_streams_windows_and_summary(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "monitor.json"
+        assert main([
+            "monitor", "fig2", "--duration", "5", "--users", "80",
+            "--slo", "0.5", "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        # One line per 1s window, plus the cumulative footer.
+        assert out.count("[") >= 5
+        assert "p99.9" in out
+        assert "cumulative:" in out
+        assert "traces:" in out
+        assert "slo:" in out
+        report = json.loads(out_json.read_text())
+        assert report["windows"] == 5
+        assert "e2e" in report["sketches"]
+        assert report["experiment"] == "fig2"
+
+    def test_monitor_listed_in_help(self, capsys):
+        assert main(["list"]) == 0
+        assert "monitor <scenario>" in capsys.readouterr().out

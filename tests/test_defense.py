@@ -250,3 +250,74 @@ class TestMillibottleneckDefense:
         unplaced = VirtualMachine(sim, "ghost")
         with pytest.raises(ValueError):
             MillibottleneckDefense(sim, unplaced)
+
+
+class TestLatencyTriggeredDefense:
+    """The live path: slo.violation topics drive the episode counter."""
+
+    def _scenario(self, duration=20.0):
+        from dataclasses import replace
+
+        from repro.experiments.configs import PRIVATE_CLOUD
+
+        return replace(
+            PRIVATE_CLOUD, name="latency-defense-test", duration=duration
+        )
+
+    def test_unknown_trigger_rejected(self):
+        from repro.experiments.defense import run_rubbos_with_defense
+
+        with pytest.raises(ValueError):
+            run_rubbos_with_defense(
+                self._scenario(), None, 8, trigger="oracle"
+            )
+
+    def test_latency_trigger_no_later_than_utilization(self):
+        """Acceptance gate: live detection beats the post-hoc loop."""
+        from repro.experiments.defense import run_rubbos_with_defense
+
+        scenario = self._scenario()
+        firsts = {}
+        for trigger in ("utilization", "latency"):
+            run, defense, _ = run_rubbos_with_defense(
+                scenario, None, 8, trigger=trigger
+            )
+            assert defense.triggered
+            firsts[trigger] = defense.migrations[0].time
+        assert firsts["latency"] <= firsts["utilization"]
+
+    def test_latency_run_carries_telemetry(self):
+        from repro.experiments.defense import run_rubbos_with_defense
+
+        run, defense, _ = run_rubbos_with_defense(
+            self._scenario(duration=12.0), None, 8, trigger="latency"
+        )
+        live = run.telemetry
+        assert live is not None
+        # Windows cover the full horizon and the detector emitted the
+        # episodes the defense consumed.
+        assert live.pipeline.reports[-1].end == 12.0
+        assert len(live.detector.violations) >= len(defense.episodes)
+
+    def test_stale_violations_ignored_after_migration(self):
+        """A violation timestamped before the migration cannot re-arm."""
+        from repro.cloud.defense import MillibottleneckDefense
+        from repro.obs import EventBus
+
+        sim = Simulator()
+        host = Host("h", XEON_E5_2603_V3)
+        mem = MemorySubsystem(host)
+        vm = VirtualMachine(sim, "db", vcpus=1)
+        vm.attach(host, mem, package=0)
+        defense = MillibottleneckDefense(
+            sim, vm, episodes_to_trigger=1, cooldown=0.0
+        )
+        bus = EventBus()
+        defense.attach_bus(bus)
+        sim.run(until=2.0)
+        bus.publish("slo.violation", {"time": 2.0})
+        assert len(defense.migrations) == 1
+        # Replaying an old window (pre-migration close time) is stale.
+        bus.publish("slo.violation", {"time": 1.0})
+        assert len(defense.migrations) == 1
+        assert defense.episodes == []

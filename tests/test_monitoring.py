@@ -163,6 +163,63 @@ class TestUtilizationMonitor:
         sim.run(until=3.0)
         assert all(v == pytest.approx(1.0) for v in monitor.series.values)
 
+    def test_nominal_overhead(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=2)
+        monitor = UtilizationMonitor(
+            sim, cpu, interval=0.05, overhead_work=0.001
+        )
+        # 1 ms of agent work per 50 ms sample on 2 cores: 1% share.
+        assert monitor.nominal_overhead == pytest.approx(0.01)
+        free = UtilizationMonitor(sim, cpu, interval=0.05)
+        assert free.nominal_overhead == 0.0
+
+    def test_overhead_inflates_measured_utilization(self):
+        # The monitoring dilemma: the agent's own work shows up in the
+        # very signal it samples, so an otherwise idle CPU reads busy.
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        monitor = UtilizationMonitor(
+            sim, cpu, interval=0.1, overhead_work=0.01
+        )
+        monitor.start()
+        sim.run(until=2.0)
+        values = monitor.series.values[1:]  # agent work starts at t=0.1
+        assert all(v == pytest.approx(0.1, abs=0.02) for v in values)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        with pytest.raises(ValueError):
+            UtilizationMonitor(sim, cpu, interval=0.0)
+        with pytest.raises(ValueError):
+            UtilizationMonitor(sim, cpu, interval=-1.0)
+        with pytest.raises(ValueError):
+            UtilizationMonitor(sim, cpu, overhead_work=-0.01)
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        monitor = UtilizationMonitor(sim, cpu, interval=0.5)
+        monitor.start()
+        monitor.start()  # second start must not double-sample
+        sim.run(until=2.0)
+        assert len(monitor.series) == 4
+
+    def test_coarse_granularity_dilutes_burst(self):
+        # Fig 10's stealthiness mechanism at the monitor level: a
+        # 0.5 s saturation inside a 5 s sample window reads ~10%.
+        sim = Simulator()
+        cpu = ProcessorSharingServer(sim, cores=1)
+        cpu.execute(0.5)
+        fine = UtilizationMonitor(sim, cpu, interval=0.05, name="fine")
+        coarse = UtilizationMonitor(sim, cpu, interval=5.0, name="coarse")
+        fine.start()
+        coarse.start()
+        sim.run(until=5.0)
+        assert fine.series.max() == pytest.approx(1.0)
+        assert coarse.series.max() == pytest.approx(0.1)
+
 
 class TestLLCMissProfiler:
     def _counter(self, sim):
