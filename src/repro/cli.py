@@ -10,7 +10,11 @@ root-cause attribution report (the programmatic Fig 9);
 the parallel sweep engine with content-addressed run caching;
 ``python -m repro monitor fig9`` runs a scenario under the live
 telemetry pipeline, printing streaming per-window tail quantiles,
-adaptive-tracer retention, and SLO violations as the run progresses.
+adaptive-tracer retention, and SLO violations as the run progresses;
+``python -m repro run private-cloud --users 1000000 --hybrid`` runs one
+scenario end to end (``--users`` co-scales capacities via
+``with_users``), optionally in hybrid fluid/DES mode where only
+``--sample-fraction`` of the population is simulated discretely.
 """
 
 from __future__ import annotations
@@ -410,6 +414,92 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _hybrid_from_args(args):
+    """Build a HybridConfig from --hybrid/--sample-fraction/--fluid-tick."""
+    if not getattr(args, "hybrid", False):
+        return None
+    from .experiments.configs import HybridConfig
+
+    return HybridConfig(
+        sample_fraction=args.sample_fraction,
+        fluid_tick=args.fluid_tick,
+    )
+
+
+def _run_run(args) -> int:
+    """The ``run`` subcommand: one scenario end to end, full or hybrid.
+
+    ``--users`` rescales the population through
+    :meth:`RubbosScenario.with_users`, which co-scales tier capacities
+    (and keeps attack intensity untouched — it is a dimensionless
+    per-host degradation), so 1000 and 1 000 000 users sit at the same
+    operating point.  ``--hybrid`` switches to the fluid/DES engine:
+    only ``--sample-fraction`` of the users run discretely; the rest
+    advance as mean-field fluid state coupled back as background load.
+    """
+    import numpy as np
+
+    from .experiments.runner import run_rubbos
+    from .experiments.summary import summarize_rubbos
+
+    scenarios = _trace_scenarios()
+    name = args.scenario if args.scenario is not None else "private-cloud"
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        print(
+            f"run needs a scenario name (one of: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = scenarios[name]
+    if args.users is not None:
+        scenario = scenario.with_users(args.users)
+    if args.duration is not None:
+        scenario = replace(scenario, duration=args.duration)
+    hybrid = _hybrid_from_args(args)
+    mode = "full DES"
+    if hybrid is not None:
+        split = hybrid.split(scenario.users)
+        mode = (
+            f"hybrid: {split.sampled} sampled users "
+            f"(weight {split.weight:.1f}) + {split.bulk} fluid"
+        )
+    print(
+        f"running scenario {name!r} ({scenario.users} users, "
+        f"{scenario.duration:.0f}s, {mode})..."
+    )
+    started = time.time()
+    run = run_rubbos(scenario, hybrid=hybrid)
+    wall = time.time() - started
+    summary = summarize_rubbos(run)
+    rts = summary.client_response_times()
+    print(f"wall time: {wall:.1f}s ({scenario.duration / wall:.1f}x realtime)")
+    print(
+        f"sampled requests: {len(summary.requests)} completed "
+        f"post-warmup, {summary.front_drops} front-tier drops"
+    )
+    print(f"population throughput: {summary.weighted_throughput():.0f} req/s")
+    if rts.size:
+        print(
+            "client RT: "
+            + "  ".join(
+                f"p{q:g}={np.percentile(rts, q) * 1e3:.1f}ms"
+                for q in (50.0, 99.0, 99.9)
+            )
+        )
+    fluid = summary.fluid
+    if fluid is not None:
+        peak = ", ".join(
+            f"{tier}={depth:.0f}" for tier, depth in fluid.peak_queues.items()
+        )
+        print(
+            f"fluid bulk: {fluid.completed:.0f} requests completed, "
+            f"{fluid.dropped:.0f} dropped, peak queues: {peak}"
+        )
+    print(f"[run {name} done in {wall:.1f}s]")
+    return 0
+
+
 def _write_monitor_json(path: str, record: Dict) -> None:
     directory = os.path.dirname(path)
     if directory:
@@ -454,24 +544,44 @@ def _run_monitor(args) -> int:
         slo=args.slo,
         trace_budget_per_window=args.budget,
     )
+    hybrid = _hybrid_from_args(args)
+    hybrid_note = ""
+    if hybrid is not None:
+        split = hybrid.split(scenario.users)
+        hybrid_note = (
+            f", hybrid {split.sampled} sampled + {split.bulk} fluid"
+        )
     print(
         f"monitoring scenario {args.scenario!r} "
         f"({scenario.users} users, {scenario.duration:.0f}s, "
         f"{config.window:g}s windows"
         + (f", SLO p{config.slo_quantile:g} < {config.slo:g}s"
            if config.slo is not None else "")
+        + hybrid_note
         + ")..."
     )
     started = time.time()
     # Build with the clock held at zero so the display callback is in
     # place before the first window closes, then run for real.
-    run = run_rubbos(replace(scenario, duration=0.0), telemetry=config)
+    run = run_rubbos(
+        replace(scenario, duration=0.0), telemetry=config, hybrid=hybrid
+    )
     live = run.telemetry
     assert live is not None
+    # Bulk-population state streamed by the fluid engine: keep the
+    # latest fluid.window payload so each telemetry row can show the
+    # bulk queue depths alongside the sampled-request tail quantiles.
+    latest_fluid = [None]
+    if run.fluid is not None:
+        live.bus.subscribe(
+            "fluid.window", lambda w: latest_fluid.__setitem__(0, w)
+        )
 
+    bulk_header = "  " + "bulk a/t/m q".rjust(14) if run.fluid else ""
     print(
         f"{'window':>13}  {'done':>5} {'fail':>4} {'drop':>4}  "
         f"{'p50':>7} {'p99':>7} {'p99.9':>7}  {'traces':>7} {'stride':>6}"
+        + bulk_header
     )
 
     def show(report):
@@ -480,6 +590,16 @@ def _run_monitor(args) -> int:
             return "-".rjust(7) if value is None else f"{value * 1e3:6.0f}m"
 
         marks = ""
+        if run.fluid is not None:
+            window = latest_fluid[0]
+            if window is not None:
+                depths = "/".join(
+                    f"{window.queues.get(t.name, 0.0):.0f}"
+                    for t in run.fluid.tiers
+                )
+                marks += "  " + depths.rjust(14)
+            else:
+                marks += "  " + "-".rjust(14)
         if live.detector is not None:
             if live.detector.onsets and (
                 live.detector.onsets[-1][0] == report.end
@@ -551,7 +671,7 @@ def main(argv=None) -> int:
         default="list",
         help=(
             "experiment name, 'all', 'list' (default), 'trace', "
-            "'monitor', or 'sweep'"
+            "'monitor', 'sweep', or 'run'"
         ),
     )
     parser.add_argument(
@@ -559,7 +679,7 @@ def main(argv=None) -> int:
         nargs="?",
         default=None,
         help=(
-            "scenario name for 'trace'/'monitor' (fig9, fig2, "
+            "scenario name for 'trace'/'monitor'/'run' (fig9, fig2, "
             "private-cloud, ec2) or experiment name for 'sweep'"
         ),
     )
@@ -579,7 +699,29 @@ def main(argv=None) -> int:
         "--users",
         type=int,
         default=None,
-        help="override the closed-loop user count ('trace'/'monitor')",
+        help="override the closed-loop user count ('trace'/'monitor'; "
+             "'run' co-scales tier capacities via with_users)",
+    )
+    parser.add_argument(
+        "--hybrid",
+        action="store_true",
+        help="hybrid fluid/DES mode: simulate --sample-fraction of the "
+             "users discretely, fold the rest into a mean-field fluid "
+             "model ('run'/'monitor')",
+    )
+    parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=0.05,
+        help="fraction of users kept in the discrete-event kernel under "
+             "--hybrid (default: 0.05)",
+    )
+    parser.add_argument(
+        "--fluid-tick",
+        type=float,
+        default=0.02,
+        help="fluid integration step in seconds under --hybrid "
+             "(default: 0.02)",
     )
     parser.add_argument(
         "--window",
@@ -656,6 +798,9 @@ def main(argv=None) -> int:
     if args.experiment == "trace":
         return _run_trace(args)
 
+    if args.experiment == "run":
+        return _run_run(args)
+
     if args.experiment == "monitor":
         return _run_monitor(args)
 
@@ -679,6 +824,10 @@ def main(argv=None) -> int:
         print(
             f"  {'sweep <experiment>'.ljust(width)}  parallel + cached "
             "regeneration (--workers N, --no-cache)"
+        )
+        print(
+            f"  {'run <scenario>'.ljust(width)}  one scenario end to "
+            "end (--users N --hybrid --sample-fraction F)"
         )
         return 0
 

@@ -60,18 +60,20 @@ def rubbos_3tier(
     tomcat_threads: int = 40,
     mysql_connections: int = 12,
     host_spec: CpuSpec = XEON_E5_2603_V3,
+    vcpus: int = 2,
 ) -> DeploymentConfig:
     return DeploymentConfig(
         tiers=(
             TierConfig(
                 "apache",
+                vcpus=vcpus,
                 concurrency=apache_threads,
                 max_backlog=apache_backlog,
                 mem_demand_mbps=1500.0,
             ),
-            TierConfig("tomcat", concurrency=tomcat_threads,
+            TierConfig("tomcat", vcpus=vcpus, concurrency=tomcat_threads,
                        mem_demand_mbps=1800.0),
-            TierConfig("mysql", concurrency=mysql_connections,
+            TierConfig("mysql", vcpus=vcpus, concurrency=mysql_connections,
                        mem_demand_mbps=2000.0),
         ),
         host_spec=host_spec,

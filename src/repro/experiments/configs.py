@@ -24,9 +24,11 @@ from typing import Dict, Optional, Tuple
 
 from ..hardware.topology import EC2_E5_2680, XEON_E5_2603_V3, CpuSpec
 from ..model.parameters import AttackBurst, SystemModel, TierModel
+from ..sim.hybrid import HybridConfig
 
 __all__ = [
     "AttackSpec",
+    "HybridConfig",
     "RubbosScenario",
     "ModelScenario",
     "PRIVATE_CLOUD",
@@ -70,13 +72,59 @@ class RubbosScenario:
     apache_backlog: int = 20
     tomcat_threads: int = 40
     mysql_connections: int = 12
+    #: vCPUs per tier VM (scaled by :meth:`with_users`).
+    tier_vcpus: int = 2
     attack: Optional[AttackSpec] = AttackSpec()
     monitor_interval: float = 0.05
     queue_sample_interval: float = 0.02
+    #: Hybrid fluid/DES configuration; ``None`` = full-DES run.  Being
+    #: a scenario field, it flows into ``stable_hash`` automatically,
+    #: so the run cache can never serve a full-DES result for a hybrid
+    #: cell (or one hybrid fraction for another).
+    hybrid: Optional[HybridConfig] = None
 
     def paper_scale(self) -> "RubbosScenario":
         """The paper's literal 3500-user population."""
         return replace(self, users=3500)
+
+    def with_users(self, users: int) -> "RubbosScenario":
+        """Rescale the scenario to ``users`` without moving the knee.
+
+        ``users`` alone is a footgun: the population size sets the
+        arrival rate (N/Z), so changing it without touching capacities
+        moves the operating point — a 10× population saturates the
+        deployment outright, and a 0.1× one self-throttles so hard the
+        attack looks harmless.  This helper co-scales every tier
+        capacity (thread/connection pools, accept backlog, vCPUs) by
+        the same ratio, keeping per-tier utilization, Condition 1
+        (Q_apache > Q_tomcat > Q_mysql) and the saturation knee at the
+        same *relative* position — the paper's operating point at any
+        scale.
+
+        Attack intensity is deliberately *not* diluted: the memory
+        attack's degradation factor is dimensionless (lock duty /
+        bandwidth share), so the same intensity degrades the scaled
+        host to the same C_on/C_off ratio, and Condition 2
+        (λ > C_on) is preserved automatically because λ and C_on both
+        scale with N.  EXPERIMENTS.md: "Condition 2 is a per-host
+        threshold, not a budget to distribute."
+        """
+        if users < 1:
+            raise ValueError(f"users must be >= 1, got {users}")
+        ratio = users / self.users
+
+        def scaled(value: int) -> int:
+            return max(1, int(round(value * ratio)))
+
+        return replace(
+            self,
+            users=users,
+            apache_threads=scaled(self.apache_threads),
+            apache_backlog=scaled(self.apache_backlog),
+            tomcat_threads=scaled(self.tomcat_threads),
+            mysql_connections=scaled(self.mysql_connections),
+            tier_vcpus=scaled(self.tier_vcpus),
+        )
 
 
 #: Fig 2(b)/9/10/11 environment: the private OpenStack/KVM cloud.

@@ -29,6 +29,7 @@ from ..obs import LiveTelemetry, Observability, TelemetryConfig
 from ..ntier.request import Request
 from ..ntier.client import UserPopulation
 from ..sim.core import Simulator
+from ..sim.hybrid import FluidEngine, FluidTier, HybridConfig
 from ..sim.rng import RandomStreams
 from ..workload.generator import OpenLoopGenerator, exponential_request_factory
 from ..workload.rubbos import RubbosWorkload
@@ -101,6 +102,8 @@ class RubbosRun:
     obs: Optional[Observability] = None
     #: Present only when the run was started with ``telemetry=...``.
     telemetry: Optional[LiveTelemetry] = None
+    #: Present only in hybrid fluid/DES runs with a non-empty bulk.
+    fluid: Optional[FluidEngine] = None
 
     @property
     def app(self):
@@ -125,6 +128,7 @@ def run_rubbos(
     trace_sample_every: int = 1,
     trace_columnar: bool = True,
     telemetry: Optional[TelemetryConfig] = None,
+    hybrid: Optional[HybridConfig] = None,
 ) -> RubbosRun:
     """Build and execute one closed-loop RUBBoS scenario.
 
@@ -147,6 +151,16 @@ def run_rubbos(
     passive (no events, no RNG), so results are byte-identical with it
     on or off.  ``tracing`` and ``telemetry`` are mutually exclusive —
     both want to own ``app.tracer``.
+
+    ``hybrid=HybridConfig(...)`` (or the scenario's own ``hybrid``
+    field; the argument wins) runs the scenario in hybrid fluid/DES
+    mode: only ``sample_fraction`` of the users run as discrete DES
+    clients (each request weighted by ``users / sampled``) while the
+    bulk advances as mean-field fluid state coupled back into the
+    tiers as background load (see :mod:`repro.sim.hybrid`).  With
+    ``sample_fraction=1.0`` the bulk is empty, no engine is built, and
+    the run takes the exact full-DES code path — byte-identical
+    results, no RNG-stream perturbation.
     """
     if telemetry is not None and tracing:
         raise ValueError(
@@ -155,6 +169,8 @@ def run_rubbos(
         )
     if telemetry is True:
         telemetry = TelemetryConfig()
+    if hybrid is None:
+        hybrid = scenario.hybrid
     streams = RandomStreams(scenario.seed)
     sim = Simulator()
     deployment = CloudDeployment(
@@ -165,6 +181,7 @@ def run_rubbos(
             tomcat_threads=scenario.tomcat_threads,
             mysql_connections=scenario.mysql_connections,
             host_spec=scenario.host_spec,
+            vcpus=scenario.tier_vcpus,
         ),
     )
     obs = None
@@ -178,13 +195,45 @@ def run_rubbos(
         live = LiveTelemetry(telemetry)
         live.attach(sim, deployment.app)
     workload = RubbosWorkload(rng=streams.get("workload"))
+    fluid = None
+    if hybrid is not None:
+        split = hybrid.split(scenario.users)
+        discrete_users = split.sampled
+        weight = split.weight
+        if split.bulk > 0:
+            fluid = FluidEngine(
+                sim,
+                tiers=[
+                    FluidTier(
+                        name=tier.name,
+                        cpu=tier.vm.cpu,
+                        pool=tier.pool,
+                        demand=workload.mean_demand(tier.name),
+                    )
+                    for tier in deployment.app.tiers
+                ],
+                bulk_users=split.bulk,
+                think_time=scenario.think_time,
+                config=hybrid,
+                bus=live.bus if live is not None else None,
+            )
+            # Re-step exactly on attack ON/OFF edges.  Registered after
+            # the deployment wired the VMs, so the engine's callback
+            # runs last and steps with the pre-change speeds it cached.
+            for memory in deployment.memories.values():
+                fluid.watch(memory)
+            fluid.start()
+    else:
+        discrete_users = scenario.users
+        weight = 1.0
     population = UserPopulation(
         sim,
         deployment.app,
         workload.make_request,
-        users=scenario.users,
+        users=discrete_users,
         think_time=scenario.think_time,
         rng=streams.get("users"),
+        weight=weight,
     )
     population.start()
 
@@ -196,13 +245,32 @@ def run_rubbos(
         monitor.start()
         util_monitors[tier_name] = monitor
 
+    if fluid is None:
+        probes = {
+            tier.name: (lambda t=tier: t.queue_length)
+            for tier in deployment.app.tiers
+        }
+    else:
+        # Hybrid: the paper's per-tier queue length is discrete
+        # occupancy plus the bulk's nested fluid occupancy, clipped at
+        # the tier's admission capacity like Tier.queue_length.
+        def _hybrid_probe(tier, index, engine=fluid):
+            def probe():
+                cap = tier.admission_capacity
+                if cap is None:
+                    cap = tier.pool.capacity
+                occupancy = tier.occupancy + engine.occupancy(index)
+                return occupancy if occupancy < cap else cap
+            return probe
+
+        probes = {
+            tier.name: _hybrid_probe(tier, index)
+            for index, tier in enumerate(deployment.app.tiers)
+        }
     queue_sampler = PeriodicSampler(
         sim,
         scenario.queue_sample_interval,
-        {
-            tier.name: (lambda t=tier: t.queue_length)
-            for tier in deployment.app.tiers
-        },
+        probes,
     )
     queue_sampler.start()
 
@@ -260,6 +328,7 @@ def run_rubbos(
         llc_profiler=llc_profiler,
         obs=obs,
         telemetry=live,
+        fluid=fluid,
     )
 
 

@@ -36,9 +36,11 @@ from ..core.attack import AttackEffect
 from ..core.burst import BurstRecord
 from ..monitoring.metrics import TimeSeries
 from ..ntier.request import Request
+from ..sim.hybrid import FluidWindow
 
 __all__ = [
     "AttributionCounts",
+    "FluidSummary",
     "RunSummary",
     "completed_after_warmup",
     "request_table",
@@ -83,6 +85,7 @@ def request_table(
             ("attempts", "i4"),
             ("failed", "?"),
             ("drops", "i4"),
+            ("weight", "f8"),
         ]
         + [(f"rt_{tier}", "f8") for tier in tiers]
     )
@@ -97,6 +100,7 @@ def request_table(
         row["attempts"] = r.attempts
         row["failed"] = r.failed
         row["drops"] = r.drops
+        row["weight"] = r.weight
         for tier in tiers:
             tier_rt = r.tier_response_time(tier)
             row[f"rt_{tier}"] = tier_rt if tier_rt is not None else np.nan
@@ -129,6 +133,24 @@ class AttributionCounts:
         return self.attributed / self.slow_requests
 
 
+@dataclass(frozen=True)
+class FluidSummary:
+    """Bulk-population outcome of a hybrid fluid/DES run."""
+
+    bulk_users: int
+    sampled_users: int
+    #: Real users each sampled discrete request stands for.
+    weight: float
+    #: Bulk request completions over the whole run (fluid mass).
+    completed: float
+    #: Bulk front-tier drops over the whole run (fluid mass).
+    dropped: float
+    #: tier -> peak nested bulk occupancy.
+    peak_queues: Dict[str, float]
+    #: Per-publish-window bulk state summaries.
+    windows: Tuple[FluidWindow, ...]
+
+
 @dataclass(eq=False)
 class RunSummary:
     """Everything a figure generator needs, in picklable form."""
@@ -156,6 +178,8 @@ class RunSummary:
     mean_demands: Dict[str, float]
     #: Root-cause attribution counts, when an attack ran.
     attribution: Optional[AttributionCounts]
+    #: Bulk-population stats of a hybrid run (None = full DES).
+    fluid: Optional[FluidSummary] = None
 
     # -- accessors shared with RubbosRun/ModelRun callers -----------------
 
@@ -203,6 +227,20 @@ class RunSummary:
         """Bursts overlapping [t0, t1)."""
         return [b for b in self.bursts if b.start < t1 and b.end > t0]
 
+    def weighted_throughput(self) -> float:
+        """Population-scale request rate over the measured window.
+
+        Each sampled request counts as ``weight`` real requests, so a
+        hybrid run reports the full population's throughput; in a
+        full-DES run every weight is 1.0 and this is plain
+        completions / window.
+        """
+        ok = self.requests[~self.requests["failed"]]
+        window = self.measured_window
+        if window <= 0:
+            return 0.0
+        return float(ok["weight"].sum()) / window
+
 
 def _attribution_counts(run, threshold: float) -> AttributionCounts:
     from ..analysis.attribution import attribute_run
@@ -240,6 +278,18 @@ def summarize_rubbos(
         if run.attack.attacker is not None:
             bursts = tuple(run.attack.attacker.bursts)
         attribution = _attribution_counts(run, attribution_threshold)
+    fluid = None
+    engine = getattr(run, "fluid", None)
+    if engine is not None:
+        fluid = FluidSummary(
+            bulk_users=engine.bulk_users,
+            sampled_users=run.population.users,
+            weight=run.population.weight,
+            completed=engine.completed,
+            dropped=engine.dropped,
+            peak_queues=dict(engine.peak_queues),
+            windows=tuple(engine.windows),
+        )
     return RunSummary(
         scenario=run.scenario,
         mode=None,
@@ -260,6 +310,7 @@ def summarize_rubbos(
             tier: run.workload.mean_demand(tier) for tier in tiers
         },
         attribution=attribution,
+        fluid=fluid,
     )
 
 

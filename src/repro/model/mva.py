@@ -83,9 +83,15 @@ def mva(
     population: int,
     think_time: float,
 ) -> MvaResult:
-    """Exact MVA (with Seidmann multi-server approximation)."""
-    if population < 1:
-        raise ValueError(f"population must be >= 1: {population}")
+    """Exact MVA (with Seidmann multi-server approximation).
+
+    ``population=0`` is the empty-network base case of the recursion:
+    zero throughput, empty queues, and zero-queueing residence times
+    (so ``response_time`` is the no-load R_0) — the fixed point hybrid
+    fluid models start from.
+    """
+    if population < 0:
+        raise ValueError(f"population must be >= 0: {population}")
     if think_time < 0:
         raise ValueError(f"negative think_time: {think_time}")
     if not stations:
@@ -94,7 +100,9 @@ def mva(
     total_delay = think_time + extra_delay
     queue = [0.0] * len(queueing)
     throughput = 0.0
-    residence = [0.0] * len(queueing)
+    # Base case (n=0): no queueing, residence = pure demand; the loop
+    # below overwrites this for any positive population.
+    residence = [station.demand for station in queueing]
     for n in range(1, population + 1):
         residence = [
             station.demand * (1.0 + queue[k])

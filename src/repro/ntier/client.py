@@ -173,6 +173,30 @@ class ClosedLoopClient:
             yield Timeout(sim, float(exponential(think_time)))
 
 
+def _weighted(factory: RequestFactory, weight: float) -> RequestFactory:
+    """Wrap ``factory`` to stamp the population weight on each request.
+
+    The wrapper touches no RNG, so the draw sequence is identical to
+    the unweighted factory's.
+    """
+
+    def weighted_factory(rid: int) -> Request:
+        request = factory(rid)
+        request.weight = weight
+        return request
+
+    return weighted_factory
+
+
+def _weighted_sessions(
+    session_factory: Callable[[], RequestFactory], weight: float
+) -> Callable[[], RequestFactory]:
+    def make() -> RequestFactory:
+        return _weighted(session_factory(), weight)
+
+    return make
+
+
 class UserPopulation:
     """N closed-loop users with starts staggered over one think time.
 
@@ -191,19 +215,36 @@ class UserPopulation:
         tcp: RetransmissionPolicy = DEFAULT_TCP,
         tandem: bool = False,
         session_factory: Optional[Callable[[], RequestFactory]] = None,
+        weight: float = 1.0,
     ):
         """Either a shared ``request_factory`` (i.i.d. page sampling)
         or a ``session_factory`` producing one stateful factory per
-        user (per-user Markov navigation) must be provided."""
+        user (per-user Markov navigation) must be provided.
+
+        ``weight`` is the population scale weight stamped on every
+        request (hybrid fluid/DES runs sample ``users`` discrete users
+        out of a larger population; each stands for ``weight`` real
+        users).  The default 1.0 leaves factories unwrapped — the
+        pre-hybrid code path, byte-identical results."""
         if users < 1:
             raise ValueError(f"users must be >= 1, got {users}")
         if request_factory is None and session_factory is None:
             raise ValueError(
                 "provide request_factory or session_factory"
             )
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
         self.sim = sim
         self.users = users
+        self.weight = float(weight)
         self.rng = rng if rng is not None else np.random.default_rng()
+        if weight != 1.0:
+            if request_factory is not None:
+                request_factory = _weighted(request_factory, self.weight)
+            if session_factory is not None:
+                session_factory = _weighted_sessions(
+                    session_factory, self.weight
+                )
         self.clients = [
             ClosedLoopClient(
                 sim,

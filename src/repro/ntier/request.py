@@ -42,6 +42,11 @@ class Request:
     attempt_times: List[float] = field(default_factory=list)
     #: Tier that dropped each failed attempt, in drop order.
     drop_tiers: List[str] = field(default_factory=list)
+    #: Population scale weight: how many real users this request's
+    #: sender stands for (1.0 in full-DES runs; ``users / sampled`` in
+    #: hybrid fluid/DES runs, where throughput-style aggregates must
+    #: weight each sampled request accordingly).
+    weight: float = 1.0
     #: Span tree, present only when a recording tracer adopted this
     #: request (``repro.obs``); ``None`` is the disabled fast path.
     trace: Optional["Trace"] = field(

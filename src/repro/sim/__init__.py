@@ -15,6 +15,7 @@ from .core import (
     StopSimulation,
     Timeout,
 )
+from .hybrid import FluidEngine, FluidTier, FluidWindow, HybridConfig
 from .psserver import ProcessorSharingServer
 from .resources import CapacityError, Container, Request, Resource, Store
 from .rng import RandomStreams
@@ -25,6 +26,10 @@ __all__ = [
     "CapacityError",
     "Container",
     "Event",
+    "FluidEngine",
+    "FluidTier",
+    "FluidWindow",
+    "HybridConfig",
     "Interrupt",
     "Process",
     "ProcessorSharingServer",

@@ -82,6 +82,7 @@ class ProcessorSharingServer:
         "cores",
         "name",
         "_speed",
+        "_background",
         "_jobs",
         "_shortest_job",
         "_last_update",
@@ -107,6 +108,10 @@ class ProcessorSharingServer:
         self.cores = int(cores)
         self.name = name
         self._speed = float(speed)
+        # Fluid background load (hybrid engine): a continuous number of
+        # phantom PS jobs competing for the same cores.  0.0 keeps every
+        # hot-path expression byte-identical to the pre-hybrid kernel.
+        self._background = 0.0
         # Insertion-ordered job table: completion scans must visit jobs
         # in submission order (event succession order is observable).
         self._jobs: Dict[Event, float] = {}
@@ -134,6 +139,11 @@ class ProcessorSharingServer:
     def active_jobs(self) -> int:
         """Number of jobs currently in service."""
         return len(self._jobs)
+
+    @property
+    def background_load(self) -> float:
+        """Fluid background jobs currently sharing the server (hybrid)."""
+        return self._background
 
     @property
     def busy_core_seconds(self) -> float:
@@ -192,6 +202,29 @@ class ProcessorSharingServer:
         self._speed = float(speed)
         self._reschedule()
 
+    def set_background_load(self, background: float) -> None:
+        """Set the fluid background load (hybrid fluid/DES coupling).
+
+        ``background`` is the mean number of bulk-population jobs the
+        fluid engine says are runnable on this CPU right now.  They
+        share the PS server exactly like discrete jobs: with ``n``
+        discrete and ``b`` fluid jobs the per-job rate becomes
+        ``speed * min(n + b, cores) / (n + b)``, and busy-time
+        accounting charges ``min(n + b, cores)`` core-seconds per
+        second, so guest utilization monitors see the bulk load too.
+        Setting 0.0 restores the exact pre-hybrid arithmetic.
+        """
+        if background < 0:
+            raise SimulationError(
+                f"background must be >= 0, got {background}"
+            )
+        background = float(background)
+        if background == self._background:
+            return
+        self._advance()
+        self._background = background
+        self._reschedule()
+
     def cancel(self, job: Event) -> None:
         """Abort an in-service job without triggering its event."""
         self._advance()
@@ -205,7 +238,8 @@ class ProcessorSharingServer:
     def _per_job_rate(self, n: int) -> float:
         if n == 0:
             return 0.0
-        return self._speed * min(n, self.cores) / n
+        load = n + self._background
+        return self._speed * min(load, self.cores) / load
 
     def _advance(self) -> None:
         """Bring job progress and integrators up to ``sim.now``."""
@@ -217,16 +251,32 @@ class ProcessorSharingServer:
         jobs = self._jobs
         n = len(jobs)
         if n:
-            active_cores = n if n < self.cores else self.cores
-            # Stalled-but-runnable vCPUs look busy to guest monitors.
-            self._busy_core_seconds += dt * active_cores
-            progress = self._speed * active_cores / n * dt
+            background = self._background
+            if background == 0.0:
+                active_cores = n if n < self.cores else self.cores
+                # Stalled-but-runnable vCPUs look busy to guest monitors.
+                self._busy_core_seconds += dt * active_cores
+                progress = self._speed * active_cores / n * dt
+            else:
+                # Hybrid: fluid bulk jobs share the PS discipline.  The
+                # zero-background branch above keeps the exact original
+                # rounding sequence (byte-identity contract).
+                load = n + background
+                active_cores = load if load < self.cores else self.cores
+                self._busy_core_seconds += dt * active_cores
+                progress = self._speed * active_cores / load * dt
             if progress > 0:
                 self._work_done += progress * n
                 # Identical fl(r - progress) per job as the original
                 # per-job loop; only the container iteration changed.
                 for job, remaining in jobs.items():
                     jobs[job] = remaining - progress
+        else:
+            background = self._background
+            if background > 0.0:
+                # Bulk-only load still looks busy to guest monitors.
+                active = background if background < self.cores else self.cores
+                self._busy_core_seconds += dt * active
         self._last_update = now
 
     def _find_shortest(self) -> Optional[Event]:
@@ -277,7 +327,12 @@ class ProcessorSharingServer:
             shortest = jobs[shortest_job]
         n = len(jobs)
         cores = self.cores
-        rate = self._speed * (n if n < cores else cores) / n
+        background = self._background
+        if background == 0.0:
+            rate = self._speed * (n if n < cores else cores) / n
+        else:
+            load = n + background
+            rate = self._speed * (load if load < cores else cores) / load
         if rate <= 0:
             return  # Fully stalled: no completion until speed changes.
         delay = shortest / rate

@@ -73,6 +73,10 @@ class Resource:
         self.sim = sim
         self.capacity = int(capacity)
         self.max_queue = max_queue
+        # Fluid background occupancy (hybrid engine): a continuous
+        # number of bulk-population holders/waiters occupying this pool.
+        # 0.0 keeps request/release on the exact pre-hybrid code path.
+        self.background = 0.0
         # Granted requests, insertion-ordered.  A dict (used as an
         # ordered set) keeps membership tests and release O(1); with a
         # list the release scan is O(capacity) and tier pools run to
@@ -112,21 +116,47 @@ class Resource:
         self.total_requests += 1
         req = Request(self)
         users = self.users
-        if len(users) < self.capacity:
+        background = self.background
+        if background == 0.0:
+            if len(users) < self.capacity:
+                users[req] = None
+                if len(users) > self.peak_in_use:
+                    self.peak_in_use = len(users)
+                # Inlined req.succeed(): a fresh Request is always pending.
+                # Grants are urgent (due now) — straight into the FIFO deque.
+                req._ok = True
+                req._value = None
+                self.sim._imm.append(req)
+                return req
+            if self.max_queue is not None and len(self.queue) >= self.max_queue:
+                self.total_rejections += 1
+                raise CapacityError(
+                    f"wait queue full ({self.max_queue} waiters)"
+                )
+            self.queue.append(req)
+            if len(self.queue) > self.peak_queued:
+                self.peak_queued = len(self.queue)
+            return req
+        # Hybrid path: bulk occupancy fills capacity slots first, then
+        # spills into the bounded backlog, shrinking both for the
+        # sampled discrete population.
+        if len(users) + background < self.capacity:
             users[req] = None
             if len(users) > self.peak_in_use:
                 self.peak_in_use = len(users)
-            # Inlined req.succeed(): a fresh Request is always pending.
-            # Grants are urgent (due now) — straight into the FIFO deque.
             req._ok = True
             req._value = None
             self.sim._imm.append(req)
             return req
-        if self.max_queue is not None and len(self.queue) >= self.max_queue:
-            self.total_rejections += 1
-            raise CapacityError(
-                f"wait queue full ({self.max_queue} waiters)"
-            )
+        if self.max_queue is not None:
+            spill = background - (self.capacity - len(users))
+            if spill < 0.0:
+                spill = 0.0
+            if len(self.queue) + spill >= self.max_queue:
+                self.total_rejections += 1
+                raise CapacityError(
+                    f"wait queue full ({self.max_queue} waiters)"
+                )
         self.queue.append(req)
         if len(self.queue) > self.peak_queued:
             self.peak_queued = len(self.queue)
@@ -140,6 +170,11 @@ class Resource:
             raise SimulationError(
                 "release() of a request that does not hold the resource"
             ) from None
+        if self.background != 0.0 and (
+            len(self.users) + self.background >= self.capacity
+        ):
+            # Bulk occupancy still fills the freed slot; no promotion.
+            return
         while self.queue:
             nxt = self.queue.popleft()
             if nxt._value is not _PENDING:
@@ -154,6 +189,33 @@ class Resource:
             nxt._value = None
             self.sim._imm.append(nxt)
             break
+
+    def set_background(self, background: float) -> None:
+        """Set the fluid bulk occupancy of this pool (hybrid coupling).
+
+        ``background`` holders/waiters from the fluid bulk population
+        occupy capacity slots first and then backlog slots, shrinking
+        the effective pool the sampled discrete requests compete for.
+        Lowering it promotes waiting discrete requests into any slots
+        the bulk vacated; 0.0 restores pre-hybrid behaviour exactly.
+        """
+        if background < 0:
+            background = 0.0
+        self.background = float(background)
+        # Promote waiters into slots the bulk no longer occupies.
+        while self.queue and (
+            len(self.users) + self.background < self.capacity
+        ):
+            nxt = self.queue.popleft()
+            if nxt._value is not _PENDING:
+                continue  # Cancelled while waiting; skip it.
+            users = self.users
+            users[nxt] = None
+            if len(users) > self.peak_in_use:
+                self.peak_in_use = len(users)
+            nxt._ok = True
+            nxt._value = None
+            self.sim._imm.append(nxt)
 
     def cancel(self, request: Request) -> None:
         """Withdraw a waiting request (e.g. after a wait timeout).

@@ -73,13 +73,48 @@ class TestMvaBasics:
         with pytest.raises(ValueError):
             mva([], 10, 1.0)
         with pytest.raises(ValueError):
-            mva(rubbos_stations(), 0, 1.0)
+            mva(rubbos_stations(), -1, 1.0)
         with pytest.raises(ValueError):
             mva(rubbos_stations(), 10, -1.0)
         with pytest.raises(ValueError):
             Station("bad", -1.0)
         with pytest.raises(ValueError):
             Station("bad", 1.0, servers=0)
+
+
+class TestMvaEdgeCases:
+    def test_zero_population_is_the_empty_network_base_case(self):
+        result = mva(rubbos_stations(), population=0, think_time=7.0)
+        assert result.throughput == 0.0
+        assert all(q == 0.0 for q in result.queue_lengths.values())
+        assert all(u == 0.0 for u in result.utilizations.values())
+        # Response time at N=0 is the no-load R_0: the sum of raw
+        # demands (Seidmann splits each demand into D/m + D(m-1)/m).
+        r0 = sum(s.demand for s in rubbos_stations())
+        assert result.response_time == pytest.approx(r0)
+
+    def test_zero_population_continuous_with_one_user(self):
+        # The N=0 base case must sit on the same curve the recursion
+        # walks: one user on an empty network sees exactly R_0 too.
+        stations = rubbos_stations()
+        empty = mva(stations, 0, 7.0)
+        one = mva(stations, 1, 7.0)
+        assert one.response_time == pytest.approx(empty.response_time)
+
+    def test_single_station_chain_matches_closed_form(self):
+        # One queueing station, no think time: the machine-repairman
+        # closed form X = N / (N * D) = 1/D holds for every N >= 1.
+        station = Station("db", 0.02)
+        for n in (1, 5, 50):
+            result = mva([station], n, think_time=0.0)
+            assert result.throughput == pytest.approx(1.0 / 0.02)
+            assert result.response_time == pytest.approx(n * 0.02)
+            assert result.queue_lengths["db"] == pytest.approx(float(n))
+
+    def test_single_station_bottleneck_is_itself(self):
+        result = mva([Station("only", 0.01)], 10, 1.0)
+        assert result.bottleneck == "only"
+        assert set(result.residence_times) == {"only"}
 
 
 class TestSaturationPopulation:

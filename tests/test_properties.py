@@ -415,6 +415,69 @@ class TestZoneProperties:
         assert (tier.weights >= 0).all()
 
 
+class TestMvaSaturationProperties:
+    """The throughput-curve knee N* moves the way capacity math says."""
+
+    @st.composite
+    def stations(draw):
+        from repro.model import Station
+
+        n = draw(st.integers(min_value=1, max_value=4))
+        return [
+            Station(
+                f"s{i}",
+                draw(st.floats(min_value=1e-4, max_value=0.1,
+                               allow_nan=False)),
+                servers=draw(st.integers(min_value=1, max_value=4)),
+            )
+            for i in range(n)
+        ]
+
+    @given(
+        chain=stations(),
+        think=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        extra=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_think_time(self, chain, think, extra):
+        from repro.model import saturation_population
+
+        assert saturation_population(chain, think + extra) >= (
+            saturation_population(chain, think)
+        )
+
+    @given(
+        chain=stations(),
+        think=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        scale=st.floats(min_value=1.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_bottleneck_capacity(self, chain, think, scale):
+        """More servers everywhere can only raise (or keep) the knee."""
+        from dataclasses import replace as dc_replace
+
+        from repro.model import saturation_population
+
+        wider = [
+            dc_replace(s, servers=s.servers * 2) for s in chain
+        ]
+        assert saturation_population(wider, think) >= (
+            saturation_population(chain, think)
+        )
+
+    @given(
+        chain=stations(),
+        think=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_knee_is_positive_and_finite(self, chain, think):
+        from repro.model import saturation_population
+
+        knee = saturation_population(chain, think)
+        assert knee > 0.0
+        assert math.isfinite(knee)
+
+
 class TestTraceProperties:
     @given(
         times=st.lists(
