@@ -270,9 +270,15 @@ def attribute_run(
     monitor = run.util_monitors.get(bottleneck)
     if monitor is not None:
         episodes = monitor.series.intervals_above(utilization_threshold)
-    bursts: Sequence[BurstRecord] = ()
+    bursts: List[BurstRecord] = []
     if run.attack is not None and run.attack.attacker is not None:
-        bursts = run.attack.attacker.bursts
+        bursts.extend(run.attack.attacker.bursts)
+    # The NIC-contention attacker logs the same BurstRecord timeline,
+    # so slow requests join against network bursts identically.
+    net_attack = getattr(run, "net_attack", None)
+    if net_attack is not None:
+        bursts.extend(net_attack.bursts)
+        bursts.sort(key=lambda b: b.start)
     return attribute_requests(
         run.client_requests(),
         bursts=bursts,

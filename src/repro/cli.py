@@ -46,6 +46,7 @@ from .experiments import (
     run_fig9,
     run_fig10,
     run_fig11,
+    run_net_comparison,
     run_validation,
     sweep_burst_length,
     sweep_degradation,
@@ -153,6 +154,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "the monitoring dilemma: agent cost vs attack visibility",
         lambda: run_overhead_study().render(),
     ),
+    "netcompare": (
+        "memory vs NIC vs combined cross-resource attack",
+        lambda: run_net_comparison().render(),
+    ),
 }
 
 
@@ -200,6 +205,14 @@ def _sweep_experiments() -> Dict[str, Callable]:
             scenario, executor=executor
         ).render()
 
+    def netcompare(executor, quick):
+        from .experiments.configs import NET_BASELINE
+
+        scenario = (
+            replace(NET_BASELINE, duration=30.0) if quick else None
+        )
+        return run_net_comparison(scenario, executor=executor).render()
+
     return {
         "fig2": fig2,
         "fig3": lambda ex, quick: run_fig3(
@@ -222,6 +235,7 @@ def _sweep_experiments() -> Dict[str, Callable]:
             trials=2 if quick else 5, executor=ex
         ).render(),
         "defense": lambda ex, quick: run_defense(executor=ex).render(),
+        "netcompare": netcompare,
     }
 
 
@@ -297,14 +311,13 @@ def _run_sweep(args) -> int:
 
 #: Scenario names accepted by ``python -m repro trace <scenario>``.
 def _trace_scenarios() -> Dict[str, object]:
-    from .experiments.configs import EC2_CLOUD, PRIVATE_CLOUD
+    from .experiments.configs import PRIVATE_CLOUD, SCENARIOS
 
-    return {
-        "fig9": PRIVATE_CLOUD,
-        "fig2": PRIVATE_CLOUD,
-        "private-cloud": PRIVATE_CLOUD,
-        "ec2": EC2_CLOUD,
-    }
+    scenarios: Dict[str, object] = dict(SCENARIOS)
+    # Figure-name aliases for the scenarios the figures are built on.
+    scenarios.setdefault("fig9", PRIVATE_CLOUD)
+    scenarios.setdefault("fig2", PRIVATE_CLOUD)
+    return scenarios
 
 
 def _print_kernel_profile(kernel, duration: float) -> None:
@@ -642,6 +655,16 @@ def _run_monitor(args) -> int:
             f"slo: {len(live.detector.violations)} violating windows, "
             f"{len(live.detector.onsets)} millibottleneck onsets"
         )
+    if run.network is not None:
+        net = run.network
+        net_dropped = sum(
+            w.net_dropped for w in live.pipeline.reports
+        )
+        print(
+            f"network: {net.messages} transfers, {net.delivered} hops "
+            f"delivered, {net.drops} queue drops "
+            f"({net_dropped} inside telemetry windows)"
+        )
     kernel = report["kernel"]
     print(
         f"kernel: {kernel['events_dispatched']} events, "
@@ -680,7 +703,8 @@ def main(argv=None) -> int:
         default=None,
         help=(
             "scenario name for 'trace'/'monitor'/'run' (fig9, fig2, "
-            "private-cloud, ec2) or experiment name for 'sweep'"
+            "private-cloud, ec2, net-baseline, net-attack, "
+            "stealth-dual) or experiment name for 'sweep'"
         ),
     )
     parser.add_argument(

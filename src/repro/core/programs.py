@@ -22,12 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hardware.memory import MemoryActivity, MemorySubsystem
+from ..net.fabric import NicActivity
 
 __all__ = [
     "AttackProgram",
     "LLCCleansingAttack",
     "MemoryBusSaturation",
     "MemoryLockAttack",
+    "NicSaturation",
     "RamspeedProbe",
 ]
 
@@ -108,6 +110,41 @@ class MemoryLockAttack(AttackProgram):
             demand_mbps=self.own_bandwidth_mbps,
             lock_duty=self.max_lock_duty * intensity,
             thrashes_llc=False,
+        )
+
+
+@dataclass
+class NicSaturation(AttackProgram):
+    """Blast the host's shared NIC rings in transient bursts.
+
+    The network twin of :class:`MemoryBusSaturation`: a co-located VM
+    pushes a line-rate packet stream (small-UDP blast / RDMA reads in
+    the cited noisy-neighbor attacks) through the host NIC it shares
+    with the victim tier.  While ON, the attacker's descriptors hold
+    ``intensity`` of the ring slots — drop-tailing victim messages —
+    and its stream consumes ``intensity`` of the ring service rate,
+    stretching whatever still gets through.  The victim-side damage is
+    not the microseconds of serialization but the protocol response: a
+    dropped RPC message costs a full TCP RTO while the request holds
+    every upstream thread, so microbursts stack across tiers exactly
+    like memory millibottlenecks.
+
+    Registered on a :class:`~repro.net.fabric.SharedNic` (same
+    duck-typed surface as :class:`MemorySubsystem`), so the standard
+    :class:`~repro.core.burst.OnOffAttacker` drives it unchanged.
+    """
+
+    #: Packet rate of the blast at intensity 1.0 — the ring's own line
+    #: rate: one VM *can* saturate a NIC ring, unlike the memory bus.
+    line_rate_pps: float = 120000.0
+    name: str = "nic-saturation"
+
+    def activity(self, vm_name: str, intensity: float) -> NicActivity:
+        intensity = self._check_intensity(intensity)
+        return NicActivity(
+            vm_name=vm_name,
+            rate_pps=self.line_rate_pps * intensity,
+            ring_fill=intensity,
         )
 
 

@@ -26,9 +26,14 @@ from .capacity import (
 from .configs import (
     EC2_CLOUD,
     MODEL_3TIER,
+    NET_ATTACK,
+    NET_BASELINE,
     PRIVATE_CLOUD,
+    SCENARIOS,
+    STEALTH_DUAL,
     AttackSpec,
     ModelScenario,
+    NetworkConfig,
     RubbosScenario,
     model_system,
 )
@@ -42,6 +47,11 @@ from .fig7 import Fig7Result, run_fig7
 from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .fig11 import Fig11Result, run_fig11
+from .netcompare import (
+    NetCompareResult,
+    NetCompareRow,
+    run_net_comparison,
+)
 from .overhead import OverheadPoint, OverheadResult, run_overhead_study
 from .parallel import (
     CELL_KINDS,
@@ -107,6 +117,11 @@ __all__ = [
     "MODEL_MODES",
     "ModelRun",
     "ModelScenario",
+    "NET_ATTACK",
+    "NET_BASELINE",
+    "NetCompareResult",
+    "NetCompareRow",
+    "NetworkConfig",
     "OverheadPoint",
     "OverheadResult",
     "PRIVATE_CLOUD",
@@ -116,6 +131,8 @@ __all__ = [
     "RubbosScenario",
     "RunCache",
     "RunSummary",
+    "SCENARIOS",
+    "STEALTH_DUAL",
     "SweepCell",
     "SweepExecutor",
     "SweepPoint",
@@ -150,6 +167,7 @@ __all__ = [
     "run_fig9",
     "run_campaign",
     "run_model",
+    "run_net_comparison",
     "run_overhead_study",
     "run_placement_study",
     "run_rubbos",

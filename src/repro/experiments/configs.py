@@ -24,16 +24,22 @@ from typing import Dict, Optional, Tuple
 
 from ..hardware.topology import EC2_E5_2680, XEON_E5_2603_V3, CpuSpec
 from ..model.parameters import AttackBurst, SystemModel, TierModel
+from ..net import NetworkConfig
 from ..sim.hybrid import HybridConfig
 
 __all__ = [
     "AttackSpec",
     "HybridConfig",
+    "NetworkConfig",
     "RubbosScenario",
     "ModelScenario",
     "PRIVATE_CLOUD",
     "EC2_CLOUD",
+    "NET_BASELINE",
+    "NET_ATTACK",
+    "STEALTH_DUAL",
     "MODEL_3TIER",
+    "SCENARIOS",
     "model_system",
 ]
 
@@ -42,7 +48,11 @@ __all__ = [
 class AttackSpec:
     """MemCA parameters for a scenario (Fig 4 / Eq 1)."""
 
-    program: str = "lock"  # "lock" or "saturate"
+    #: "lock" / "saturate" / "cleanse" target the memory subsystem;
+    #: "nic" targets the shared NIC rings (requires a scenario with
+    #: ``network=``); "lock+nic" launches both in lock-step — the
+    #: combined cross-resource attack each per-resource sampler misses.
+    program: str = "lock"
     length: float = 0.5
     interval: float = 2.0
     intensity: float = 1.0
@@ -82,6 +92,13 @@ class RubbosScenario:
     #: so the run cache can never serve a full-DES result for a hybrid
     #: cell (or one hybrid fraction for another).
     hybrid: Optional[HybridConfig] = None
+    #: Inter-tier network model; ``None`` (the default) keeps the fixed
+    #: per-hop ``net_delay`` and is byte-identical to pre-network runs
+    #: (same neutrality discipline as tracing/telemetry/hybrid).  A
+    #: :class:`~repro.net.NetworkConfig` routes every tier→tier RPC
+    #: through the finite queue chain and, like ``hybrid``, flows into
+    #: ``stable_hash`` for the sweep cache.
+    network: Optional[NetworkConfig] = None
 
     def paper_scale(self) -> "RubbosScenario":
         """The paper's literal 3500-user population."""
@@ -134,6 +151,45 @@ PRIVATE_CLOUD = RubbosScenario(name="private-cloud")
 EC2_CLOUD = RubbosScenario(
     name="amazon-ec2", host_spec=EC2_E5_2680, seed=11
 )
+
+#: Network-routed RPCs, no attacker: the loss-free reference point for
+#: the net-vs-mem amplification comparison.
+NET_BASELINE = RubbosScenario(
+    name="net-baseline", network=NetworkConfig(), attack=None, seed=17
+)
+
+#: The NIC-contention attack: transient ring-saturation bursts against
+#: the MySQL host's shared NIC, same ON-OFF rhythm as the memory
+#: attacks.
+NET_ATTACK = RubbosScenario(
+    name="net-attack",
+    network=NetworkConfig(),
+    attack=AttackSpec(program="nic"),
+    seed=17,
+)
+
+#: The combined cross-resource attack: memory lock and NIC saturation
+#: in lock-step at *half* intensity each — each resource's sampler sees
+#: a modest, deniable load (saturated fractions below the alarm line)
+#: while the stacked contention still more than doubles the tail.
+STEALTH_DUAL = RubbosScenario(
+    name="stealth-dual",
+    network=NetworkConfig(),
+    attack=AttackSpec(program="lock+nic", intensity=0.5, jitter=0.0),
+    seed=17,
+)
+
+#: Every registered RUBBoS scenario, by name.  The scenario-matrix
+#: conformance suite (tests/test_scenario_matrix.py) and the CLI
+#: ``trace`` / ``monitor`` / ``run`` verbs discover scenarios here, so
+#: a new family is automatically held to the shared invariants.
+SCENARIOS: Dict[str, RubbosScenario] = {
+    "private-cloud": PRIVATE_CLOUD,
+    "ec2": EC2_CLOUD,
+    "net-baseline": NET_BASELINE,
+    "net-attack": NET_ATTACK,
+    "stealth-dual": STEALTH_DUAL,
+}
 
 
 @dataclass(frozen=True)

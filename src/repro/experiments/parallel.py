@@ -62,6 +62,7 @@ CELL_KINDS: Dict[str, str] = {
     "bandwidth": "repro.experiments.fig3:bandwidth_cell",
     "placement-campaign": "repro.experiments.placement:campaign_cell",
     "baseline-campaign": "repro.experiments.baselines:baseline_cell",
+    "netcompare-campaign": "repro.experiments.netcompare:netcompare_cell",
     "ablation-model-point": "repro.experiments.ablation:model_point_cell",
     "ablation-rubbos-point": "repro.experiments.ablation:rubbos_point_cell",
     "ablation-distribution": "repro.experiments.ablation:distribution_cell",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import gc
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..cloud.platform import CloudDeployment, DeploymentConfig, TierConfig, rubbos_3tier
 from ..core.attack import MemCAAttack
@@ -22,7 +22,9 @@ from ..core.programs import (
     LLCCleansingAttack,
     MemoryBusSaturation,
     MemoryLockAttack,
+    NicSaturation,
 )
+from ..net import TierNetwork
 from ..monitoring.oprofile import LLCMissProfiler
 from ..monitoring.sampler import PeriodicSampler, UtilizationMonitor
 from ..obs import LiveTelemetry, Observability, TelemetryConfig
@@ -43,6 +45,7 @@ __all__ = [
     "run_model",
     "MODEL_MODES",
     "make_attack_program",
+    "split_attack_program",
 ]
 
 
@@ -71,7 +74,9 @@ def _population_frozen():
 
 
 def make_attack_program(
-    spec: AttackSpec, host_bandwidth_mbps: float
+    spec: AttackSpec,
+    host_bandwidth_mbps: float,
+    nic_rate_pps: Optional[float] = None,
 ) -> AttackProgram:
     """Instantiate the attack program a spec names."""
     if spec.program == "lock":
@@ -82,7 +87,29 @@ def make_attack_program(
         )
     if spec.program == "cleanse":
         return LLCCleansingAttack()
+    if spec.program == "nic":
+        if nic_rate_pps is not None:
+            return NicSaturation(line_rate_pps=nic_rate_pps)
+        return NicSaturation()
     raise ValueError(f"unknown attack program {spec.program!r}")
+
+
+def split_attack_program(program: str) -> Tuple[Optional[str], bool]:
+    """Split a spec's program string into (memory program, wants NIC).
+
+    ``"lock"`` → ``("lock", False)``; ``"nic"`` → ``(None, True)``;
+    the combined ``"lock+nic"`` (either order) → ``("lock", True)``.
+    """
+    parts = program.split("+")
+    if len(parts) > 2 or "" in parts:
+        raise ValueError(f"malformed attack program {program!r}")
+    wants_nic = "nic" in parts
+    memory = [p for p in parts if p != "nic"]
+    if len(memory) > 1:
+        raise ValueError(
+            f"at most one memory program per spec: {program!r}"
+        )
+    return (memory[0] if memory else None), wants_nic
 
 
 @dataclass
@@ -104,6 +131,10 @@ class RubbosRun:
     telemetry: Optional[LiveTelemetry] = None
     #: Present only in hybrid fluid/DES runs with a non-empty bulk.
     fluid: Optional[FluidEngine] = None
+    #: Present only when the scenario carries a ``network=`` config.
+    network: Optional[TierNetwork] = None
+    #: The NIC-contention attacker ("nic" / combined programs only).
+    net_attack: Optional[OnOffAttacker] = None
 
     @property
     def app(self):
@@ -194,6 +225,20 @@ def run_rubbos(
     elif telemetry is not None:
         live = LiveTelemetry(telemetry)
         live.attach(sim, deployment.app)
+    net = None
+    if scenario.network is not None:
+        bus = None
+        if obs is not None:
+            bus = obs.bus
+        elif live is not None:
+            bus = live.bus
+        net = TierNetwork(
+            sim,
+            scenario.network,
+            tuple(tier.name for tier in deployment.app.tiers),
+            bus=bus,
+        )
+        net.attach(deployment.app)
     workload = RubbosWorkload(rng=streams.get("workload"))
     fluid = None
     if hybrid is not None:
@@ -275,32 +320,68 @@ def run_rubbos(
     queue_sampler.start()
 
     attack = None
+    net_attacker = None
     llc_profiler = None
     if scenario.attack is not None:
         spec = scenario.attack
-        program = make_attack_program(
-            spec, scenario.host_spec.mem_bandwidth_mbps
-        )
-        attack = MemCAAttack(
-            sim,
-            deployment,
-            program=program,
-            length=spec.length,
-            interval=spec.interval,
-            intensity=spec.intensity,
-            adversaries=spec.adversaries,
-            target_tier=spec.target_tier,
-            jitter=spec.jitter,
-            rng=streams.get("attack"),
-            monitor_interval=scenario.monitor_interval,
-        )
-        attack.launch()
-        if feedback_goals is not None:
-            attack.enable_feedback(
-                workload.make_request,
-                goals=feedback_goals,
-                rng=streams.get("prober"),
+        mem_program, wants_nic = split_attack_program(spec.program)
+        if mem_program is not None:
+            program = make_attack_program(
+                AttackSpec(
+                    program=mem_program,
+                    length=spec.length,
+                    interval=spec.interval,
+                    intensity=spec.intensity,
+                    jitter=spec.jitter,
+                    adversaries=spec.adversaries,
+                    target_tier=spec.target_tier,
+                ),
+                scenario.host_spec.mem_bandwidth_mbps,
             )
+            attack = MemCAAttack(
+                sim,
+                deployment,
+                program=program,
+                length=spec.length,
+                interval=spec.interval,
+                intensity=spec.intensity,
+                adversaries=spec.adversaries,
+                target_tier=spec.target_tier,
+                jitter=spec.jitter,
+                rng=streams.get("attack"),
+                monitor_interval=scenario.monitor_interval,
+            )
+            attack.launch()
+            if feedback_goals is not None:
+                attack.enable_feedback(
+                    workload.make_request,
+                    goals=feedback_goals,
+                    rng=streams.get("prober"),
+                )
+        if wants_nic:
+            if net is None:
+                raise ValueError(
+                    f"attack program {spec.program!r} needs a scenario "
+                    "with network= set (there is no NIC to contend on)"
+                )
+            target = spec.target_tier
+            if target is None:
+                target = deployment.app.back.name
+            net_attacker = OnOffAttacker(
+                sim,
+                net.nics[target],
+                [
+                    f"net-adversary{i + 1}"
+                    for i in range(spec.adversaries)
+                ],
+                NicSaturation(line_rate_pps=scenario.network.nic_rate),
+                length=spec.length,
+                interval=spec.interval,
+                intensity=spec.intensity,
+                jitter=spec.jitter,
+                rng=streams.get("netattack"),
+            )
+            net_attacker.start()
     if collect_llc:
         mysql_vm = deployment.vm("mysql")
         assert mysql_vm.llc is not None
@@ -329,6 +410,8 @@ def run_rubbos(
         obs=obs,
         telemetry=live,
         fluid=fluid,
+        network=net,
+        net_attack=net_attacker,
     )
 
 

@@ -266,7 +266,7 @@ def summarize_rubbos(
         run.app.completed, run.scenario.warmup
     )
     effect = None
-    bursts: Tuple[BurstRecord, ...] = ()
+    burst_log: List[BurstRecord] = []
     attribution = None
     if run.attack is not None:
         if effect_percentiles is not None:
@@ -276,8 +276,18 @@ def summarize_rubbos(
         else:
             effect = run.attack.effect()
         if run.attack.attacker is not None:
-            bursts = tuple(run.attack.attacker.bursts)
+            burst_log.extend(run.attack.attacker.bursts)
+    # A NIC-contention attacker logs the same BurstRecord timeline;
+    # merge it so net-only and combined attacks summarize with their
+    # bursts and attribution populated (the AttackEffect stays a
+    # memory-side measurement and remains None without one).
+    net_attack = getattr(run, "net_attack", None)
+    if net_attack is not None:
+        burst_log.extend(net_attack.bursts)
+        burst_log.sort(key=lambda b: b.start)
+    if run.attack is not None or net_attack is not None:
         attribution = _attribution_counts(run, attribution_threshold)
+    bursts: Tuple[BurstRecord, ...] = tuple(burst_log)
     fluid = None
     engine = getattr(run, "fluid", None)
     if engine is not None:

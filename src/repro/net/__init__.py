@@ -1,0 +1,31 @@
+"""Inter-tier network path: finite queue chains and shared NICs.
+
+The second attack family (ROADMAP: network-contention attacks).  Each
+tier→tier hop is a chain of finite FIFO queues — sender NIC ring →
+host qdisc → switch port buffer → receiver NIC ring — with
+configurable service rates, buffer sizes, and drop-tail/ECN behavior,
+driven by the same calendar-queue kernel as everything else.  The
+sender/receiver rings are *shared* per host, so a co-located adversary
+blasting packets through its own VM contends with the victim tier's
+traffic exactly the way the memory attacks contend on the bus.
+"""
+
+from .queues import (
+    FiniteQueue,
+    NetEvent,
+    NetworkConfig,
+    NetworkOverflowError,
+    QueueChain,
+)
+from .fabric import NicActivity, SharedNic, TierNetwork
+
+__all__ = [
+    "FiniteQueue",
+    "NetEvent",
+    "NetworkConfig",
+    "NetworkOverflowError",
+    "NicActivity",
+    "QueueChain",
+    "SharedNic",
+    "TierNetwork",
+]

@@ -1,0 +1,266 @@
+"""Shared NICs and the per-deployment network fabric.
+
+:class:`SharedNic` is the network twin of
+:class:`~repro.hardware.memory.MemorySubsystem`: the host's NIC rings
+are shared between the tier VM and any co-located adversary VMs, which
+register :class:`NicActivity` records while their attack is ON.  The
+same duck-typed ``set_activity`` / ``clear_activity`` / ``subscribe``
+surface means :class:`~repro.core.burst.OnOffAttacker` drives NIC
+bursts unchanged.
+
+:class:`TierNetwork` assembles the whole fabric for a deployment: one
+:class:`~repro.net.queues.QueueChain` per directed tier→tier hop
+(sender NIC ring → sender qdisc → switch port buffer → receiver NIC
+ring), with the two ring stages of each host owned by that host's
+:class:`SharedNic` so attacker bursts degrade every chain touching the
+host at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .queues import FiniteQueue, NetworkConfig, QueueChain
+
+__all__ = ["NicActivity", "SharedNic", "TierNetwork"]
+
+
+@dataclass
+class NicActivity:
+    """One VM's current NIC traffic on its host's shared rings.
+
+    ``rate_pps`` is the packet rate the VM pushes with no contention;
+    ``ring_fill`` in [0, 1] is the fraction of ring descriptors its
+    in-flight packets hold — a saturating blast keeps the rings full,
+    which is what drop-tails the victim's messages during a burst.
+    """
+
+    vm_name: str
+    rate_pps: float
+    ring_fill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_pps < 0:
+            raise ValueError(f"negative rate_pps: {self.rate_pps}")
+        if not 0.0 <= self.ring_fill <= 1.0:
+            raise ValueError(f"ring_fill outside [0,1]: {self.ring_fill}")
+
+
+class SharedNic:
+    """Shared NIC rings of one host, contended by co-located VMs.
+
+    Aggregates the registered activities into a bandwidth share and a
+    ring-fill fraction, pushed as *background* load onto every ring
+    stage of the host (egress and ingress): victim messages then see a
+    smaller effective buffer and stretched serialization — the Eq. 2/3
+    degradation shape, transplanted to the NIC.
+    """
+
+    def __init__(self, tier_name: str, rate_pps: float, sim=None):
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be positive: {rate_pps}")
+        self.tier_name = tier_name
+        self.rate_pps = rate_pps
+        self.sim = sim
+        self.rings: List[FiniteQueue] = []
+        self._activities: Dict[str, NicActivity] = {}
+        self._listeners: List[Callable[[], None]] = []
+        #: (time, background share) change points — what a NIC
+        #: throughput sampler of the host would have seen.  Attack
+        #: bursts are sparse, so this stays tiny.
+        self.share_history: List[Tuple[float, float]] = []
+
+    def add_ring(self, ring: FiniteQueue) -> None:
+        self.rings.append(ring)
+
+    # -- registration (OnOffAttacker's duck-typed surface) ----------------
+
+    def set_activity(self, activity: NicActivity) -> None:
+        """Install or replace the activity record for a VM."""
+        self._activities[activity.vm_name] = activity
+        self._apply()
+
+    def clear_activity(self, vm_name: str) -> None:
+        """Remove a VM's activity (e.g. attack burst turned OFF)."""
+        if self._activities.pop(vm_name, None) is not None:
+            self._apply()
+
+    def activity_of(self, vm_name: str) -> Optional[NicActivity]:
+        return self._activities.get(vm_name)
+
+    def subscribe(self, fn: Callable[[], None]) -> None:
+        """Call ``fn`` after every contention-state change."""
+        self._listeners.append(fn)
+
+    # -- derived contention state -----------------------------------------
+
+    @property
+    def background_share(self) -> float:
+        """Fraction of ring service rate the co-located load wants."""
+        demand = sum(a.rate_pps for a in self._activities.values())
+        return demand / self.rate_pps
+
+    @property
+    def background_fill(self) -> float:
+        """Fraction of ring descriptors held by co-located traffic."""
+        fill = sum(a.ring_fill for a in self._activities.values())
+        return fill if fill < 1.0 else 1.0
+
+    def _apply(self) -> None:
+        share = self.background_share
+        fill = self.background_fill
+        if self.sim is not None:
+            self.share_history.append((self.sim._now, share))
+        for ring in self.rings:
+            ring.set_background(share, fill)
+        for fn in self._listeners:
+            fn()
+
+    def share_time_above(
+        self, threshold: float, t0: float, t1: float
+    ) -> float:
+        """Time in [t0, t1) the co-located NIC share was >= threshold.
+
+        The network twin of a CPU sampler's saturated-sample fraction:
+        divide by ``t1 - t0`` for the fraction of the window a NIC
+        utilization monitor would have flagged.
+        """
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        events = self.share_history + [(t1, 0.0)]
+        prev_t, prev_share = 0.0, 0.0
+        for t, share in events:
+            lo, hi = max(prev_t, t0), min(t, t1)
+            if hi > lo and prev_share >= threshold:
+                total += hi - lo
+            prev_t, prev_share = t, share
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedNic({self.tier_name!r}, "
+            f"{len(self._activities)} activities)"
+        )
+
+
+class TierNetwork:
+    """The deployment's inter-tier fabric: chains, rings, shared NICs."""
+
+    def __init__(
+        self,
+        sim,
+        config: NetworkConfig,
+        tier_names: Tuple[str, ...],
+        bus=None,
+    ):
+        if len(tier_names) < 2:
+            raise ValueError(
+                f"a network needs >= 2 tiers, got {tier_names!r}"
+            )
+        self.sim = sim
+        self.config = config
+        self.bus = bus
+        #: tier name -> its host's shared NIC.
+        self.nics: Dict[str, SharedNic] = {
+            name: SharedNic(name, config.nic_rate, sim=sim)
+            for name in tier_names
+        }
+        #: (src, dst) -> the directed hop chain.
+        self.links: Dict[Tuple[str, str], QueueChain] = {}
+        tcp = config.policy()
+        for src, dst in zip(tier_names, tier_names[1:]):
+            for a, b in ((src, dst), (dst, src)):
+                name = f"{a}->{b}"
+                tx = FiniteQueue(
+                    sim,
+                    f"{name}:nic_tx",
+                    config.nic_rate,
+                    config.nic_buffer,
+                    config.ecn_threshold,
+                )
+                qdisc = FiniteQueue(
+                    sim,
+                    f"{name}:qdisc",
+                    config.qdisc_rate,
+                    config.qdisc_buffer,
+                    config.ecn_threshold,
+                )
+                port = FiniteQueue(
+                    sim,
+                    f"{name}:switch",
+                    config.switch_rate,
+                    config.switch_buffer,
+                    config.ecn_threshold,
+                )
+                rx = FiniteQueue(
+                    sim,
+                    f"{name}:nic_rx",
+                    config.nic_rate,
+                    config.nic_buffer,
+                    config.ecn_threshold,
+                )
+                self.nics[a].add_ring(tx)
+                self.nics[b].add_ring(rx)
+                self.links[(a, b)] = QueueChain(
+                    sim,
+                    name,
+                    [tx, qdisc, port, rx],
+                    propagation=config.propagation,
+                    tcp=tcp,
+                    ecn_penalty=config.ecn_penalty,
+                    bus=bus,
+                )
+
+    def link(self, src: str, dst: str) -> QueueChain:
+        return self.links[(src, dst)]
+
+    def attach(self, app) -> "TierNetwork":
+        """Route every adjacent tier pair's RPC hops through the fabric.
+
+        Sets each tier's ``link_down`` / ``link_up``; ``Tier.handle``
+        then drives the chains instead of its fixed ``net_delay``.
+        """
+        for tier in app.tiers:
+            downstream = tier.downstream
+            if downstream is None:
+                continue
+            tier.link_down = self.link(tier.name, downstream.name)
+            tier.link_up = self.link(downstream.name, tier.name)
+        return self
+
+    # -- aggregate views ---------------------------------------------------
+
+    def stages(self) -> List[FiniteQueue]:
+        out: List[FiniteQueue] = []
+        for chain in self.links.values():
+            out.extend(chain.stages)
+        return out
+
+    @property
+    def delivered(self) -> int:
+        return sum(chain.delivered for chain in self.links.values())
+
+    @property
+    def drops(self) -> int:
+        return sum(chain.drops for chain in self.links.values())
+
+    @property
+    def messages(self) -> int:
+        return sum(chain.messages for chain in self.links.values())
+
+    def mean_load(self, tier_name: str, duration: float) -> float:
+        """Delivered-traffic utilization of a host's rings over a run.
+
+        What a per-resource NIC sampler would report: delivered
+        messages per second over the ring rate, averaged across the
+        host's rings.  Transient bursts vanish into this mean — the
+        stealth half of the combined-attack experiment.
+        """
+        rings = self.nics[tier_name].rings
+        if not rings or duration <= 0:
+            return 0.0
+        return sum(
+            ring.delivered / (ring.rate * duration) for ring in rings
+        ) / len(rings)

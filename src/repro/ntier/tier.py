@@ -60,6 +60,13 @@ class Tier:
         self.pool = Resource(sim, capacity=concurrency, max_queue=max_backlog)
         self.downstream: Optional["Tier"] = None
         self.net_delay = net_delay
+        # Directed queue chains to/from the downstream tier, installed
+        # by repro.net.TierNetwork.attach when a scenario routes RPCs
+        # through the finite-queue network model.  None (the default)
+        # keeps the fixed net_delay hop — byte-identical to pre-network
+        # behavior.
+        self.link_down = None
+        self.link_up = None
         self.work_split = work_split
         self.arrivals = 0
         self.completions = 0
@@ -236,7 +243,17 @@ class Tier:
                                 f"{name}->{downstream.name}",
                                 f"{downstream.name}->{name}",
                             )
-                    if net_delay > 0:
+                    link = self.link_down
+                    if link is not None:
+                        # Routed hop: the message traverses the finite
+                        # queue chain (NIC ring -> qdisc -> switch ->
+                        # ring), retransmitting on drops while this
+                        # tier's thread stays held.
+                        yield from link.transfer(
+                            trace,
+                            net_names[1] if trace is not None else None,
+                        )
+                    elif net_delay > 0:
                         hop = sim._now
                         # Direct construction skips the sim.timeout()
                         # wrapper frame — two hops per downstream call
@@ -245,7 +262,13 @@ class Tier:
                         if trace is not None:
                             trace.add("net", net_names[1], hop, sim._now)
                     yield from downstream.handle(request)
-                    if net_delay > 0:
+                    link = self.link_up
+                    if link is not None:
+                        yield from link.transfer(
+                            trace,
+                            net_names[2] if trace is not None else None,
+                        )
+                    elif net_delay > 0:
                         hop = sim._now
                         yield Timeout(sim, net_delay)
                         if trace is not None:

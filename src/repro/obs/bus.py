@@ -40,10 +40,19 @@ class EventBus:
     :attr:`delivery_errors`.  Subscribers may unsubscribe anyone —
     including themselves — during a publish; delivery for the publish
     in flight uses a snapshot of the subscription list.
+
+    A topic ending in ``.*`` subscribes to the whole *family*: a
+    ``"net.*"`` subscriber receives every ``net.delivered`` /
+    ``net.dropped`` / ``net.failed`` publish.  (Before the network
+    family landed, such a subscription silently registered a literal
+    topic that nothing ever published to.)  Patterns match on the
+    dotted prefix only — ``"net.*"`` does not match a bare ``"net"``.
     """
 
     def __init__(self):
         self._subscribers: Dict[str, List[Callable[[Any], None]]] = {}
+        #: dotted prefix (e.g. "net.") -> family subscribers.
+        self._patterns: Dict[str, List[Callable[[Any], None]]] = {}
         self.published: Dict[str, int] = {}
         #: topic -> count of subscriber callbacks that raised.
         self.delivery_errors: Dict[str, int] = {}
@@ -51,16 +60,32 @@ class EventBus:
     def subscribe(
         self, topic: str, fn: Callable[[Any], None]
     ) -> Callable[[], None]:
-        """Register ``fn`` for ``topic``; returns an unsubscribe callable."""
-        self._subscribers.setdefault(topic, []).append(fn)
+        """Register ``fn`` for ``topic``; returns an unsubscribe callable.
+
+        ``topic`` may be a family pattern like ``"net.*"``.
+        """
+        if topic.endswith(".*"):
+            registry, key = self._patterns, topic[:-1]
+        else:
+            registry, key = self._subscribers, topic
+        registry.setdefault(key, []).append(fn)
 
         def unsubscribe() -> None:
             try:
-                self._subscribers[topic].remove(fn)
+                registry[key].remove(fn)
             except (KeyError, ValueError):
                 pass
 
         return unsubscribe
+
+    def _listeners_for(self, topic: str) -> List[Callable[[Any], None]]:
+        """Snapshot of every callback a publish to ``topic`` reaches."""
+        listeners = list(self._subscribers.get(topic, ()))
+        if self._patterns:
+            for prefix, fns in self._patterns.items():
+                if topic.startswith(prefix):
+                    listeners.extend(fns)
+        return listeners
 
     def publish(self, topic: str, payload: Any = None) -> int:
         """Deliver ``payload`` to every subscriber.
@@ -72,13 +97,13 @@ class EventBus:
         simulation it is observing.
         """
         self.published[topic] = self.published.get(topic, 0) + 1
-        listeners = self._subscribers.get(topic)
+        # Snapshot: subscribe/unsubscribe during delivery affects the
+        # next publish, not the one in flight.
+        listeners = self._listeners_for(topic)
         if not listeners:
             return 0
         delivered = 0
-        # Snapshot: subscribe/unsubscribe during delivery affects the
-        # next publish, not the one in flight.
-        for fn in list(listeners):
+        for fn in listeners:
             try:
                 fn(payload)
                 delivered += 1
@@ -92,7 +117,14 @@ class EventBus:
         return delivered
 
     def subscriber_count(self, topic: str) -> int:
-        return len(self._subscribers.get(topic, ()))
+        """Callbacks a publish to ``topic`` would reach.
+
+        With a pattern argument (``"net.*"``), the family's own
+        subscriber count.
+        """
+        if topic.endswith(".*"):
+            return len(self._patterns.get(topic[:-1], ()))
+        return len(self._listeners_for(topic))
 
 
 class KernelProfiler:

@@ -30,10 +30,11 @@ SPAN_KINDS = (
     "queue_wait",  # waiting for the tier's thread/connection pool
     "service",     # a processor-sharing CPU slice
     "net",         # tier-to-tier network delay
+    "net_rto",     # link-level retransmission backoff inside a hop
 )
 
 #: Kinds where latency actually accrues (no nested children).
-LEAF_KINDS = ("queue_wait", "service", "net", "rto_wait")
+LEAF_KINDS = ("queue_wait", "service", "net", "rto_wait", "net_rto")
 
 
 class Span:

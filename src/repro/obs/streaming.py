@@ -66,6 +66,10 @@ __all__ = [
 #: Pipeline key for the client-perceived end-to-end latency sketch.
 E2E = "e2e"
 
+#: Pipeline key for network chain-traversal latency (``net.*`` topics,
+#: present only in runs with a routed inter-tier network).
+NET = "net"
+
 
 @dataclass(frozen=True)
 class TelemetryConfig:
@@ -264,6 +268,9 @@ class WindowReport:
     completed: int = 0
     failed: int = 0
     dropped: int = 0
+    #: Network messages discarded by a queue-chain stage in the window
+    #: (0 unless the run routes RPCs through ``repro.net``).
+    net_dropped: int = 0
     #: key -> quantile (percentile units) -> estimate; empty keys
     #: (no observations in the window) are absent.
     quantiles: Dict[str, Dict[float, float]] = field(default_factory=dict)
@@ -312,6 +319,7 @@ class TelemetryPipeline:
         self._completed = 0
         self._failed = 0
         self._dropped = 0
+        self._net_dropped = 0
         self._tracer_base_seen = 0
         self._tracer_promoted_seen = 0
         self._attached = False
@@ -328,6 +336,9 @@ class TelemetryPipeline:
         self.bus.subscribe("request.completed", self._on_completed)
         self.bus.subscribe("request.failed", self._on_failed)
         self.bus.subscribe("request.dropped", self._on_dropped)
+        # The whole net.* family: delivered transfers feed the NET
+        # latency sketch, stage drops are tallied per window.
+        self.bus.subscribe("net.*", self._on_net)
         return self
 
     # -- window machinery -------------------------------------------------
@@ -360,6 +371,7 @@ class TelemetryPipeline:
             completed=self._completed,
             failed=self._failed,
             dropped=self._dropped,
+            net_dropped=self._net_dropped,
         )
         for key, hist in self._window_hists.items():
             if hist.count == 0:
@@ -386,6 +398,7 @@ class TelemetryPipeline:
         self.reports.append(report)
         self._window_hists = {}
         self._completed = self._failed = self._dropped = 0
+        self._net_dropped = 0
         self._window_index += 1
         for callback in self.on_window:
             callback(report)
@@ -416,6 +429,13 @@ class TelemetryPipeline:
         # Drops arrive mid-request (before any completion timestamp);
         # tally only — the window closes on the next completion.
         self._dropped += 1
+
+    def _on_net(self, event) -> None:
+        if event.kind == "delivered":
+            self._close_through(event.t)
+            self._hist(NET).observe(event.latency)
+        elif event.kind == "dropped":
+            self._net_dropped += 1
 
     # -- queries ----------------------------------------------------------
 

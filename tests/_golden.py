@@ -23,7 +23,7 @@ from dataclasses import replace
 
 from repro.analysis.attribution import attribute_run
 from repro.analysis.export import requests_to_rows
-from repro.experiments.configs import PRIVATE_CLOUD
+from repro.experiments.configs import PRIVATE_CLOUD, NetworkConfig
 from repro.experiments.runner import run_rubbos
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -46,6 +46,23 @@ GOLDEN_FIG9 = replace(
     warmup=2.0,
     seed=23,
     attack=replace(PRIVATE_CLOUD.attack, length=0.4, interval=1.5),
+)
+
+
+#: The network family's golden: every RPC routed through the finite
+#: queue chains, under the NIC ring-saturation attack — pins the
+#: chain serialization, drop, and link-RTO event ordering.
+GOLDEN_NET = replace(
+    PRIVATE_CLOUD,
+    name="golden-net",
+    users=1200,
+    duration=8.0,
+    warmup=2.0,
+    seed=31,
+    network=NetworkConfig(),
+    attack=replace(
+        PRIVATE_CLOUD.attack, program="nic", length=0.4, interval=1.5
+    ),
 )
 
 
@@ -90,13 +107,19 @@ def run_golden_fig9(tracing: bool = True, **kwargs):
     return run_rubbos(GOLDEN_FIG9, tracing=tracing, **kwargs)
 
 
+def run_golden_net(tracing: bool = False, **kwargs):
+    return run_rubbos(GOLDEN_NET, tracing=tracing, **kwargs)
+
+
 #: golden file name -> callable producing its current text.
 def snapshots() -> dict:
     fig2 = run_golden_fig2()
     fig9 = run_golden_fig9()
+    net = run_golden_net()
     return {
         "fig2_requests.csv": requests_csv_text(fig2),
         "fig9_requests.csv": requests_csv_text(fig9),
         "fig9_sketch.json": sketch_json_text(fig9),
         "fig9_attribution.txt": attribution_text(fig9),
+        "net_requests.csv": requests_csv_text(net),
     }

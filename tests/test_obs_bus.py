@@ -89,6 +89,85 @@ class TestEventBusDelivery:
         unsubscribe()  # second call is a harmless no-op
         assert bus.subscriber_count("t") == 0
 
+    def test_subscribe_after_publish_sees_only_later_events(self):
+        # The bus is fire-and-forget: a late subscriber misses earlier
+        # publishes (no replay) but receives everything from then on.
+        bus = EventBus()
+        bus.publish("t", "early")
+        seen = []
+        bus.subscribe("t", seen.append)
+        bus.publish("t", "late")
+        assert seen == ["late"]
+        assert bus.published["t"] == 2
+
+
+class TestTopicPatterns:
+    def test_family_pattern_receives_all_members(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("net.*", seen.append)
+        bus.publish("net.delivered", 1)
+        bus.publish("net.dropped", 2)
+        bus.publish("net.failed", 3)
+        assert seen == [1, 2, 3]
+
+    def test_pattern_matches_prefix_only(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("net.*", seen.append)
+        # Neither the bare family name nor a lookalike prefix matches:
+        # the pattern is the dotted prefix "net.".
+        assert bus.publish("net", "bare") == 0
+        assert bus.publish("network.up", "lookalike") == 0
+        assert bus.publish("request.completed", "other") == 0
+        assert seen == []
+
+    def test_pattern_and_exact_both_delivered(self):
+        bus = EventBus()
+        exact, family = [], []
+        bus.subscribe("net.dropped", exact.append)
+        bus.subscribe("net.*", family.append)
+        assert bus.publish("net.dropped", "x") == 2
+        assert exact == ["x"]
+        assert family == ["x"]
+
+    def test_pattern_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("net.*", seen.append)
+        bus.publish("net.delivered", 1)
+        unsubscribe()
+        bus.publish("net.delivered", 2)
+        assert seen == [1]
+        assert bus.subscriber_count("net.*") == 0
+
+    def test_nested_subtopics_match(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("net.*", seen.append)
+        bus.publish("net.link.apache.dropped", "deep")
+        assert seen == ["deep"]
+
+    def test_subscriber_count_includes_patterns(self):
+        bus = EventBus()
+        bus.subscribe("net.dropped", lambda p: None)
+        bus.subscribe("net.*", lambda p: None)
+        bus.subscribe("net.*", lambda p: None)
+        # A concrete topic counts its exact and family subscribers; the
+        # pattern form counts the family's own list.
+        assert bus.subscriber_count("net.dropped") == 3
+        assert bus.subscriber_count("net.*") == 2
+        assert bus.subscriber_count("net.delivered") == 2
+
+    def test_raising_pattern_subscriber_is_isolated(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("net.*", lambda p: 1 / 0)
+        bus.subscribe("net.dropped", seen.append)
+        assert bus.publish("net.dropped", "p") == 1
+        assert seen == ["p"]
+        assert bus.delivery_errors["net.dropped"] == 1
+
 
 class _Lifecycle:
     """Minimal request record for tracer lifecycle tests."""

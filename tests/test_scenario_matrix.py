@@ -1,0 +1,198 @@
+"""Scenario conformance matrix: shared invariants over every scenario.
+
+Every scenario registered in ``repro.experiments.configs.SCENARIOS``
+is run once (shrunk via ``with_users`` plus a short duration, fixed
+seed) and held to the same invariants: request accounting conserves,
+no occupancy goes negative or exceeds its bound, the run summarizes
+with every field populated, and the scenario's ``stable_hash`` is
+deterministic and collision-free across the registry.  A new scenario
+family added to the registry is automatically tested here — that is
+the point: the registry *is* the conformance surface.
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.configs import SCENARIOS
+from repro.experiments.parallel import stable_hash
+from repro.experiments.runner import run_rubbos, split_attack_program
+from repro.experiments.summary import summarize_rubbos
+
+#: Shrunk-but-representative run used for every scenario: small enough
+#: for CI, long enough for at least one attack cycle where configured.
+USERS = 400
+DURATION = 5.0
+WARMUP = 1.0
+
+
+def shrink(scenario):
+    return replace(
+        scenario.with_users(USERS), duration=DURATION, warmup=WARMUP
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """name -> (shrunk scenario, finished run, summary), each run once."""
+    out = {}
+    for name, scenario in SCENARIOS.items():
+        small = shrink(scenario)
+        run = run_rubbos(small)
+        out[name] = (small, run, summarize_rubbos(run))
+    return out
+
+
+scenario_names = pytest.mark.parametrize("name", sorted(SCENARIOS))
+
+
+@scenario_names
+class TestRequestAccounting:
+    def test_requests_complete_and_conserve(self, matrix, name):
+        scenario, run, _ = matrix[name]
+        completed, failed = run.app.completed, run.app.failed
+        assert len(completed) > 0
+        # Closed loop: no user can hold more than one request, and
+        # every finished request is filed exactly once.  (rids are
+        # per-user counters, so uniqueness is object identity.)
+        assert len(completed) + len(failed) <= run.app.front.arrivals
+        finished = completed + failed
+        assert len({id(r) for r in finished}) == len(finished)
+
+    def test_completed_requests_are_well_formed(self, matrix, name):
+        scenario, run, _ = matrix[name]
+        for request in run.app.completed:
+            assert request.t_done is not None
+            assert 0.0 <= request.t_first_attempt <= request.t_done
+            assert request.t_done <= scenario.duration + 1e-9
+            assert request.response_time >= 0.0
+            assert request.attempts >= 1
+            assert not request.failed
+        for request in run.app.failed:
+            assert request.failed
+
+    def test_tier_counters_conserve(self, matrix, name):
+        _, run, _ = matrix[name]
+        for tier in run.app.tiers:
+            # In-flight work at the horizon accounts for the remainder.
+            in_flight = tier.arrivals - tier.completions - tier.drops
+            assert in_flight >= 0
+            assert tier.occupancy >= 0
+            capacity = tier.admission_capacity
+            if capacity is not None:
+                assert tier.occupancy <= capacity
+
+
+@scenario_names
+class TestOccupancyBounds:
+    def test_queue_series_never_negative(self, matrix, name):
+        _, run, _ = matrix[name]
+        for tier_name, series in run.queue_sampler.series.items():
+            values = [v for _, v in series]
+            assert values, f"empty queue series for {tier_name}"
+            assert min(values) >= 0
+
+    def test_utilization_within_unit_interval(self, matrix, name):
+        _, run, _ = matrix[name]
+        for tier_name, monitor in run.util_monitors.items():
+            values = [v for _, v in monitor.series]
+            assert values, f"empty util series for {tier_name}"
+            assert min(values) >= 0.0
+            assert max(values) <= 1.0 + 1e-9
+
+    def test_network_stage_conservation(self, matrix, name):
+        scenario, run, _ = matrix[name]
+        if scenario.network is None:
+            assert run.network is None
+            return
+        net = run.network
+        assert net is not None
+        stages = net.stages()
+        assert stages
+        for stage in stages:
+            assert stage.occupancy >= 0
+            assert stage.peak_occupancy <= stage.buffer
+            assert stage.offered == (
+                stage.delivered + stage.dropped + stage.occupancy
+            )
+        for chain in net.links.values():
+            in_transit = chain.messages - chain.delivered - chain.failed
+            assert in_transit >= 0
+            assert chain.attempts >= chain.messages
+
+
+@scenario_names
+class TestSummaryContract:
+    def test_summary_fields_populated(self, matrix, name):
+        scenario, run, summary = matrix[name]
+        tiers = tuple(tier.name for tier in run.app.tiers)
+        assert summary.tiers == tiers
+        assert len(summary.requests) > 0
+        assert set(summary.util_series) == set(tiers)
+        assert set(summary.mean_demands) == set(tiers)
+        assert summary.scenario == scenario
+        if scenario.attack is not None:
+            # The AttackEffect is a memory-side measurement; a pure
+            # NIC attack summarizes without one but still carries its
+            # burst log and attribution counts.
+            memory_part, _ = split_attack_program(scenario.attack.program)
+            if memory_part is not None:
+                assert summary.effect is not None
+            assert summary.attribution is not None
+            assert len(summary.bursts) > 0
+        else:
+            assert summary.bursts == ()
+
+    def test_summary_accessors_work(self, matrix, name):
+        _, _, summary = matrix[name]
+        rts = summary.client_response_times()
+        assert rts.size > 0
+        assert float(rts.min()) >= 0.0
+        curves = summary.percentile_curves()
+        assert "client" in curves
+        assert summary.weighted_throughput() > 0.0
+
+    def test_summary_pickles(self, matrix, name):
+        _, _, summary = matrix[name]
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.tiers == summary.tiers
+        assert len(clone.requests) == len(summary.requests)
+
+
+class TestStableHashing:
+    def test_hash_round_trips(self):
+        for scenario in SCENARIOS.values():
+            # A field-for-field reconstruction hashes identically:
+            # the hash keys on content, not object identity.
+            assert stable_hash(scenario) == stable_hash(replace(scenario))
+            assert stable_hash(shrink(scenario)) == stable_hash(
+                shrink(scenario)
+            )
+
+    def test_hashes_distinct_across_registry(self):
+        hashes = {name: stable_hash(s) for name, s in SCENARIOS.items()}
+        assert len(set(hashes.values())) == len(hashes)
+
+    def test_network_field_changes_hash(self):
+        # The network config participates in the cache key, so a cached
+        # plain run can never be served for a network-routed cell.
+        for name, scenario in SCENARIOS.items():
+            if scenario.network is None:
+                continue
+            stripped = replace(scenario, network=None)
+            assert stable_hash(scenario) != stable_hash(stripped)
+
+    def test_seed_changes_hash(self):
+        for scenario in SCENARIOS.values():
+            reseeded = replace(scenario, seed=scenario.seed + 1)
+            assert stable_hash(scenario) != stable_hash(reseeded)
+
+
+@scenario_names
+def test_registry_names_match_scenarios(name):
+    # The registry key is the lookup surface the CLI exposes; keep it
+    # consistent with the scenario's own name unless an alias is the
+    # point (ec2 -> amazon-ec2).
+    scenario = SCENARIOS[name]
+    assert scenario.name in (name, "amazon-ec2")
