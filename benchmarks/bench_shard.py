@@ -1,0 +1,269 @@
+"""Sharded-kernel benchmark: determinism gate + parallel speedup.
+
+Two questions about ``repro.sim.sharded`` + ``run_datacenter``, each
+with a ``--check`` gate:
+
+* **identity** — a sharded run (one worker process per simulated host,
+  conservative safe-window exchange) must be *byte-identical* to the
+  single-process reference: same post-warmup request CSV, the exact
+  same total dispatched-event count, and an identical merged latency
+  sketch.  This gate is unconditional — it holds on any box, at any
+  core count, and is the property DESIGN.md §12 proves.
+* **speedup** — with one core per worker the sharded run must beat the
+  single-process wall clock by the floor factor (2x on the 4-host
+  scenario; the 2-host quick scenario gets a weak sanity floor — its
+  ~2 ms safe window makes it an exchange-overhead stress, not a
+  speedup showcase).  The floor is only *gated* when the machine has
+  at least as many cores as workers; otherwise the measured ratio and
+  the core count are recorded in the JSON and the gate is skipped —
+  byte identity, not wall clock, is the portable contract.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py            # full run
+    PYTHONPATH=src python benchmarks/bench_shard.py --check    # full gate
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick --check  # CI
+
+Results land in ``benchmarks/results/BENCH_shard.json`` (or
+``BENCH_shard_quick.json`` with ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import os
+import platform
+import sys
+import time
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
+
+#: Wall-clock floors, gated only when ``os.cpu_count() >= shards``.
+#: Full mode is the ISSUE's acceptance bar: >= 2x on dc-4host with 4
+#: workers.  Quick mode only proves the machinery isn't pathological —
+#: dc-2host finishes single-process in well under a second, so worker
+#: spawn + ~3k window exchanges dominate any 2-way parallelism; the
+#: floor is a 5x-slowdown tripwire, not a speedup claim.
+SPEEDUP_FLOOR = {"full": 2.0, "quick": 0.2}
+
+SCENARIOS = {"full": "dc-4host", "quick": "dc-2host"}
+
+
+def _requests_csv(run) -> str:
+    """The run's post-warmup request table as canonical CSV text.
+
+    Same row encoding as the committed determinism goldens
+    (``tests/_golden.requests_csv_text``), so "the CSVs match" here
+    means exactly what ``tests/test_determinism.py`` pins.
+    """
+    from repro.analysis.export import requests_to_rows
+
+    rows = requests_to_rows(
+        run.client_requests(), tiers=("apache", "tomcat", "mysql")
+    )
+    fields = list(rows[0].keys()) if rows else ["rid"]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def _sketch_state(run) -> dict:
+    sketch = run.latency
+    return {
+        "count": sketch.count,
+        "total": sketch.total,
+        "zero_count": sketch.zero_count,
+        "buckets": dict(sketch.buckets),
+    }
+
+
+def _measure(scenario, shards: int) -> tuple:
+    from repro.experiments.datacenter import run_datacenter
+
+    t0 = time.perf_counter()
+    run = run_datacenter(scenario, shards=shards)
+    wall = time.perf_counter() - t0
+    return run, wall
+
+
+def bench_shard(quick: bool) -> dict:
+    from repro.experiments.datacenter import DATACENTERS
+
+    name = SCENARIOS["quick" if quick else "full"]
+    scenario = DATACENTERS[name]
+    shards = len(scenario.shards)
+
+    single, single_wall = _measure(scenario, 1)
+    sharded, sharded_wall = _measure(scenario, shards)
+
+    single_csv = _requests_csv(single)
+    sharded_csv = _requests_csv(sharded)
+    report = {
+        "scenario": name,
+        "users": scenario.base.users,
+        "sim_seconds": scenario.base.duration,
+        "shards": shards,
+        "window_seconds": scenario.window,
+        "windows": max(r.windows for r in sharded.shard_results),
+        "cross_shard_messages": sum(
+            r.sent for r in sharded.shard_results
+        ),
+        "single_process": {
+            "wall_seconds": single_wall,
+            "events": single.event_count,
+            "completed": len(single.completed),
+            "failed": len(single.failed),
+        },
+        "sharded": {
+            "wall_seconds": sharded_wall,
+            "events": sharded.event_count,
+            "completed": len(sharded.completed),
+            "failed": len(sharded.failed),
+            "per_shard": [
+                {
+                    "host": r.host,
+                    "tiers": list(r.tiers),
+                    "events": r.events,
+                    "sent": r.sent,
+                    "received": r.received,
+                }
+                for r in sharded.shard_results
+            ],
+        },
+        "identity": {
+            "requests_csv": sharded_csv == single_csv,
+            "request_rows": single_csv.count("\n") - 1,
+            "event_count": sharded.event_count == single.event_count,
+            "latency_sketch": (
+                _sketch_state(sharded) == _sketch_state(single)
+            ),
+        },
+        "speedup": single_wall / sharded_wall,
+    }
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: dc-2host (2 workers) instead of dc-4host (4)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the sharded run is byte-identical to "
+             "the single-process reference, and (when the box has "
+             "enough cores) beats it by the speedup floor",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    cpu_count = os.cpu_count() or 1
+    report = {
+        "kind": "sharded-kernel-benchmark",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+    }
+    result = bench_shard(args.quick)
+    report.update(result)
+
+    print(
+        f"{result['scenario']}: {result['users']:,} users x "
+        f"{result['sim_seconds']:g}s over {result['shards']} hosts, "
+        f"window {result['window_seconds'] * 1e3:.2f}ms "
+        f"({result['windows']} windows, "
+        f"{result['cross_shard_messages']} cross-shard messages)"
+    )
+    print(
+        f"  single-process {result['single_process']['wall_seconds']:.2f}s"
+        f"  sharded {result['sharded']['wall_seconds']:.2f}s"
+        f"  -> {result['speedup']:.2f}x on {cpu_count} core(s)"
+    )
+    identity = result["identity"]
+    print(
+        f"  identity: csv={identity['requests_csv']} "
+        f"({identity['request_rows']} rows) "
+        f"events={identity['event_count']} "
+        f"({result['sharded']['events']:,}) "
+        f"sketch={identity['latency_sketch']}"
+    )
+
+    out = args.out or os.path.join(
+        RESULTS_DIR,
+        "BENCH_shard_quick.json" if args.quick else "BENCH_shard.json",
+    )
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failed = False
+
+        def gate(ok: bool, ok_msg: str, fail_msg: str) -> None:
+            nonlocal failed
+            if ok:
+                print(f"OK: {ok_msg}")
+            else:
+                print(f"FAIL: {fail_msg}", file=sys.stderr)
+                failed = True
+
+        gate(
+            identity["requests_csv"],
+            "sharded request CSV byte-identical to single-process",
+            "sharded request CSV differs from single-process reference",
+        )
+        gate(
+            identity["event_count"],
+            f"event counts match exactly "
+            f"({result['sharded']['events']:,})",
+            f"event counts differ: sharded "
+            f"{result['sharded']['events']:,} vs single "
+            f"{result['single_process']['events']:,}",
+        )
+        gate(
+            identity["latency_sketch"],
+            "merged latency sketches identical",
+            "merged latency sketches differ",
+        )
+        gate(
+            result["identity"]["request_rows"] > 0,
+            f"{identity['request_rows']} post-warmup requests compared",
+            "no post-warmup requests: the identity gate compared "
+            "nothing",
+        )
+        floor = SPEEDUP_FLOOR["quick" if args.quick else "full"]
+        if cpu_count >= result["shards"]:
+            gate(
+                result["speedup"] >= floor,
+                f"speedup {result['speedup']:.2f}x >= {floor:g}x "
+                f"({result['shards']} workers on {cpu_count} cores)",
+                f"speedup {result['speedup']:.2f}x < {floor:g}x "
+                f"({result['shards']} workers on {cpu_count} cores)",
+            )
+        else:
+            print(
+                f"SKIP: speedup floor ({floor:g}x) not gated — "
+                f"{cpu_count} core(s) < {result['shards']} workers; "
+                f"measured {result['speedup']:.2f}x"
+            )
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

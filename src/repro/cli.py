@@ -439,6 +439,153 @@ def _hybrid_from_args(args):
     )
 
 
+def _datacenter_scenario(args, name):
+    """Resolve a datacenter scenario with --duration/--users applied."""
+    from .experiments.datacenter import DATACENTERS
+
+    scenario = DATACENTERS[name]
+    base = scenario.base
+    if args.users is not None:
+        base = base.with_users(args.users)
+    if args.duration is not None:
+        base = replace(base, duration=args.duration)
+    if base is not scenario.base:
+        scenario = replace(scenario, base=base)
+    return scenario
+
+
+def _run_datacenter(args, name) -> int:
+    """``run`` on a multi-host scenario: the sharded parallel kernel.
+
+    ``--shards 1`` runs all hosts side by side in one simulator (the
+    byte-identical reference mode); ``--shards N`` (default: one per
+    host) partitions the hosts into worker processes synchronized by
+    the conservative safe-window protocol (DESIGN.md §12).
+    """
+    import numpy as np
+
+    from .experiments.datacenter import run_datacenter
+
+    scenario = _datacenter_scenario(args, name)
+    shards = args.shards if args.shards is not None else len(scenario.shards)
+    print(
+        f"running datacenter scenario {name!r} "
+        f"({len(scenario.shards)} hosts, {scenario.base.users} users, "
+        f"{scenario.base.duration:.0f}s, shards={shards}, "
+        f"window={scenario.window * 1e3:.2f}ms)..."
+    )
+    started = time.time()
+    run = run_datacenter(scenario, shards=shards)
+    wall = time.time() - started
+    for result in run.shard_results:
+        tiers = ",".join(result.tiers)
+        print(
+            f"  shard {result.index} {result.host}[{tiers}]: "
+            f"{result.windows} windows, "
+            f"{result.sent} sent / {result.received} received"
+        )
+    requests = run.client_requests()
+    print(f"wall time: {wall:.1f}s "
+          f"({scenario.base.duration / wall:.1f}x realtime)")
+    print(
+        f"kernel: {run.event_count} events across {shards} shard(s)"
+    )
+    print(f"requests: {len(requests)} completed post-warmup, "
+          f"{len(run.failed)} failed")
+    rts = np.array(
+        [r.response_time for r in requests if r.response_time is not None]
+    )
+    if rts.size:
+        print(
+            "client RT: "
+            + "  ".join(
+                f"p{q:g}={np.percentile(rts, q) * 1e3:.1f}ms"
+                for q in (50.0, 99.0, 99.9)
+            )
+        )
+    print(f"[run {name} done in {wall:.1f}s]")
+    return 0
+
+
+def _monitor_datacenter(args, name) -> int:
+    """``monitor`` on a multi-host scenario: per-shard window progress.
+
+    Subscribes to the ``shard.window`` bus topic the sharded runner
+    publishes at every progress stride and prints one row per
+    completed lock-step stride with a column per shard — the live view
+    of the conservative-window protocol advancing.
+    """
+    from .experiments.datacenter import run_datacenter
+    from .obs.bus import EventBus
+
+    scenario = _datacenter_scenario(args, name)
+    shards = args.shards if args.shards is not None else len(scenario.shards)
+    print(
+        f"monitoring datacenter scenario {name!r} "
+        f"({len(scenario.shards)} hosts, {scenario.base.users} users, "
+        f"{scenario.base.duration:.0f}s, shards={shards}, "
+        f"window={scenario.window * 1e3:.2f}ms)..."
+    )
+    if shards == 1:
+        print(
+            "note: --shards 1 runs one simulator with no window "
+            "boundaries; per-shard progress rows only appear for "
+            "shards > 1"
+        )
+    columns = [
+        f"{spec.host}:{','.join(spec.tiers)}" for spec in scenario.shards
+    ]
+    width = max(26, max(len(c) for c in columns) + 2)
+    print(
+        f"{'sim time':>9}  {'window':>7}  "
+        + "  ".join(c.rjust(width) for c in columns)
+    )
+    latest: Dict[int, object] = {}
+    printed = [0]
+
+    def show(window) -> None:
+        latest[window.shard] = window
+        if len(latest) < len(scenario.shards):
+            return
+        common = min(w.index for w in latest.values())
+        if common <= printed[0]:
+            return
+        printed[0] = common
+        cells = []
+        for index in range(len(scenario.shards)):
+            w = latest[index]
+            cells.append(
+                f"ev={w.events} tx={w.sent} rx={w.received}".rjust(width)
+            )
+        print(
+            f"{min(w.now for w in latest.values()):9.2f}  "
+            f"{common:7d}  " + "  ".join(cells)
+        )
+
+    bus = EventBus()
+    bus.subscribe("shard.window", show)
+    started = time.time()
+    run = run_datacenter(scenario, shards=shards, bus=bus)
+    wall = time.time() - started
+    requests = run.client_requests()
+    print(
+        f"\ncumulative: {run.event_count} events, "
+        f"{len(requests)} completed requests, "
+        f"{len(run.failed)} failed"
+    )
+    sketch = run.latency
+    if sketch.count:
+        print(
+            "latency sketch: "
+            + "  ".join(
+                f"p{q:g}={sketch.quantile(q) * 1e3:.1f}ms"
+                for q in (50.0, 99.0)
+            )
+        )
+    print(f"[monitor {name} done in {wall:.1f}s]")
+    return 0
+
+
 def _run_run(args) -> int:
     """The ``run`` subcommand: one scenario end to end, full or hybrid.
 
@@ -452,13 +599,16 @@ def _run_run(args) -> int:
     """
     import numpy as np
 
+    from .experiments.datacenter import DATACENTERS
     from .experiments.runner import run_rubbos
     from .experiments.summary import summarize_rubbos
 
     scenarios = _trace_scenarios()
     name = args.scenario if args.scenario is not None else "private-cloud"
+    if name in DATACENTERS:
+        return _run_datacenter(args, name)
     if name not in scenarios:
-        known = ", ".join(sorted(scenarios))
+        known = ", ".join(sorted(scenarios) + sorted(DATACENTERS))
         print(
             f"run needs a scenario name (one of: {known})",
             file=sys.stderr,
@@ -531,13 +681,16 @@ def _run_monitor(args) -> int:
     interval-by-interval view an operator would watch, produced while
     the simulation is still running.
     """
+    from .experiments.datacenter import DATACENTERS
     from .experiments.runner import run_rubbos
     from .obs import TelemetryConfig
     from .obs.streaming import E2E
 
     scenarios = _trace_scenarios()
+    if args.scenario is not None and args.scenario in DATACENTERS:
+        return _monitor_datacenter(args, args.scenario)
     if args.scenario is None or args.scenario not in scenarios:
-        known = ", ".join(sorted(scenarios))
+        known = ", ".join(sorted(scenarios) + sorted(DATACENTERS))
         print(
             f"monitor needs a scenario name (one of: {known})",
             file=sys.stderr,
@@ -704,8 +857,17 @@ def main(argv=None) -> int:
         help=(
             "scenario name for 'trace'/'monitor'/'run' (fig9, fig2, "
             "private-cloud, ec2, net-baseline, net-attack, "
-            "stealth-dual) or experiment name for 'sweep'"
+            "stealth-dual; multi-host: dc-2host, dc-4host) or "
+            "experiment name for 'sweep'"
         ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker-process count for multi-host scenarios "
+             "('run'/'monitor' on dc-* scenarios; default: one per "
+             "host, 1 = single-process reference mode)",
     )
     parser.add_argument(
         "--out",
@@ -851,7 +1013,8 @@ def main(argv=None) -> int:
         )
         print(
             f"  {'run <scenario>'.ljust(width)}  one scenario end to "
-            "end (--users N --hybrid --sample-fraction F)"
+            "end (--users N --hybrid --sample-fraction F; "
+            "dc-* scenarios take --shards N)"
         )
         return 0
 

@@ -19,6 +19,12 @@ from .placement import (
     ZoneFullError,
 )
 from .platform import CloudDeployment, DeploymentConfig, TierConfig, rubbos_3tier
+from .topology import (
+    LinkSpec,
+    RackTopology,
+    binpack_placement,
+    rack_aware_placement,
+)
 
 __all__ = [
     "AutoScalingMonitor",
@@ -32,14 +38,18 @@ __all__ = [
     "DeploymentConfig",
     "DetectionReport",
     "DialBalancer",
+    "LinkSpec",
     "MigrationEvent",
     "MillibottleneckDefense",
     "PeriodicitySpikeDetector",
+    "RackTopology",
     "RateAnomalyDetector",
     "ScalingEvent",
     "ThresholdDetector",
     "TierConfig",
     "ZoneFullError",
+    "binpack_placement",
     "cpi_series",
+    "rack_aware_placement",
     "rubbos_3tier",
 ]

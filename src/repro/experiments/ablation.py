@@ -36,6 +36,9 @@ __all__ = [
     "sweep_target_tier",
     "sweep_service_distribution",
     "dual_tier_attack",
+    "sweep_switch_buffer",
+    "sweep_ecn_threshold",
+    "sweep_rto_schedule",
 ]
 
 
@@ -528,6 +531,137 @@ def dual_tier_attack(
     return SweepResult(
         "Ablation: multi-tier adversaries (intensity does not split)",
         points,
+    )
+
+
+def _net_attack_variant(
+    duration: float, name: str, intensity: Optional[float] = None,
+    **overrides,
+):
+    """NET_ATTACK with its :class:`NetworkConfig` fields overridden."""
+    from .configs import NET_ATTACK  # local import: avoids a cycle
+
+    attack = NET_ATTACK.attack
+    if intensity is not None:
+        attack = replace(attack, intensity=intensity)
+    return replace(
+        NET_ATTACK,
+        name=name,
+        duration=duration,
+        attack=attack,
+        network=replace(NET_ATTACK.network, **overrides),
+    )
+
+
+def sweep_switch_buffer(
+    buffers: Sequence[int] = (64, 128, 256, 512),
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
+    """Fabric buffer depth vs NIC-saturation damage.
+
+    Sweeps the switch port buffer with the NIC rings co-scaled at the
+    stock 4:1 proportion (the attacked host's ring is the binding
+    stage — the blast sits on the victim's NIC, not in the fabric
+    core).  The attacker runs at intensity 0.96: a line-rate stream
+    that holds 96% of the descriptors, so the victim's headroom is the
+    remaining 4% *of whatever depth the hardware provides*.  Shallow
+    buffers leave sub-slot headroom and drop-tail the burst into RTO
+    stalls; each doubling of depth absorbs more of the microburst
+    until the attack disappears into serialization delay.
+    """
+    specs = [
+        (
+            _net_attack_variant(
+                duration,
+                f"net/switch-buffer-{size}",
+                intensity=0.96,
+                switch_buffer=size,
+                nic_buffer=max(1, size // 4),
+            ),
+            f"switch_buffer={size}",
+        )
+        for size in buffers
+    ]
+    return SweepResult(
+        "Ablation: fabric buffer depth (drop-early vs absorb)",
+        _rubbos_points(specs, executor),
+    )
+
+
+def sweep_ecn_threshold(
+    thresholds: Sequence[Optional[float]] = (None, 0.25, 0.5, 0.95),
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
+    """ECN marking threshold against a descriptor-hold attack.
+
+    The attacker runs at intensity 0.9 — rings 90% held, but enough
+    headroom that nothing drops.  A threshold at or below the burst
+    fill marks every traversal during ON windows and charges the 2 ms
+    pacing penalty (the cwnd-halving analog); a threshold above the
+    fill never fires.  Either way the drop count is untouched:
+    admission is descriptor-driven, so receiver-side ECN cannot blunt
+    a hold attack — it only decides whether victims also pay a pacing
+    tax.  ``None`` is pure drop-tail.
+    """
+    specs = []
+    for threshold in thresholds:
+        label = (
+            "drop-tail" if threshold is None else f"ecn@{threshold:g}"
+        )
+        specs.append(
+            (
+                _net_attack_variant(
+                    duration,
+                    f"net/{label}",
+                    intensity=0.9,
+                    ecn_threshold=threshold,
+                ),
+                label,
+            )
+        )
+    return SweepResult(
+        "Ablation: ECN threshold (marking vs drop-tail)",
+        _rubbos_points(specs, executor),
+    )
+
+
+def sweep_rto_schedule(
+    schedules: Sequence[Tuple[float, float]] = (
+        (0.2, 1.0),
+        (0.2, 2.0),
+        (1.0, 2.0),
+        (3.0, 2.0),
+    ),
+    duration: float = 45.0,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepResult:
+    """Link RTO floor and backoff factor vs tail amplification.
+
+    The RFC 6298 1 s floor is the paper's amplification lever: each
+    in-network drop stalls a pinned upstream thread for at least one
+    RTO.  Sub-second floors retry *inside* the 0.5 s burst — there the
+    backoff factor matters (backoff 1.0 hammers the held ring and
+    fails fast; 2.0 spaces retries past the burst edge) — while floors
+    at or above the burst length always clear it on the second attempt
+    and amplify linearly with the floor.
+    """
+    specs = [
+        (
+            _net_attack_variant(
+                duration,
+                f"net/rto-{rto:g}x{backoff:g}",
+                rto=rto,
+                rto_backoff=backoff,
+            ),
+            f"rto={rto:g}s backoff={backoff:g}",
+        )
+        for rto, backoff in schedules
+    ]
+    return SweepResult(
+        "Ablation: link RTO schedule (floor and backoff)",
+        _rubbos_points(specs, executor),
     )
 
 

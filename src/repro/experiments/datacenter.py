@@ -1,0 +1,810 @@
+"""Multi-host datacenter scenarios on the sharded parallel kernel.
+
+A :class:`DatacenterScenario` partitions the RUBBoS tier chain across
+the hosts of a :class:`~repro.cloud.topology.RackTopology`: each host
+is one **shard** with its own :class:`~repro.sim.core.Simulator`,
+deployment slice, and RNG streams; cross-host tier→tier RPCs travel as
+timestamped frames through :class:`~repro.net.fabric.CrossHostLink`
+channels under the conservative safe-window protocol of
+:mod:`repro.sim.sharded` (DESIGN.md §12).
+
+``run_datacenter(scenario, shards=1)`` executes every shard domain
+side by side inside **one** simulator (deliveries scheduled directly
+at send time) — the reference interleaving.  ``shards=N`` runs one
+worker process per shard in lock-step windows; dispatch order within
+each shard is identical to the reference, so request CSVs and event
+counts match byte for byte (``tests/test_determinism.py``) while the
+wall clock drops with the core count (``benchmarks/bench_shard.py``).
+
+Both modes build *identical* per-shard domains — same construction
+order, same marshalled RPC frames, same name-addressed RNG streams
+(:class:`~repro.sim.rng.RandomStreams` substreams depend only on
+``(seed, name)``, never on draw order elsewhere) — which is what makes
+the equivalence hold by construction rather than by luck.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass, replace
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cloud.platform import CloudDeployment, DeploymentConfig, rubbos_3tier
+from ..cloud.topology import RackTopology
+from ..core.attack import MemCAAttack
+from ..net.fabric import CrossHostLink
+from ..ntier.client import UserPopulation
+from ..ntier.remote import RemoteTierServer, RemoteTierStub
+from ..ntier.replicated import ReplicatedTier
+from ..ntier.request import Request
+from ..obs.sketch import LogHistogram
+from ..sim.core import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.sharded import (
+    EventCounter,
+    FrameChannel,
+    LocalChannel,
+    ShardRunner,
+    ShardWindow,
+)
+from ..workload.rubbos import RubbosWorkload
+from .configs import AttackSpec, RubbosScenario
+from .runner import (
+    _population_frozen,
+    make_attack_program,
+    split_attack_program,
+)
+from .summary import completed_after_warmup
+
+__all__ = [
+    "DATACENTERS",
+    "DC_2HOST",
+    "DC_4HOST",
+    "DatacenterRun",
+    "DatacenterScenario",
+    "ShardResult",
+    "ShardSpec",
+    "run_datacenter",
+]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a topology host serving a contiguous chain slice."""
+
+    host: str
+    tiers: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One remote-call boundary: upstream shard → downstream shard."""
+
+    id: int
+    upstream: int
+    downstream: int
+    #: First tier of the downstream shard (the tier being called).
+    tier: str
+
+
+@dataclass(frozen=True)
+class DatacenterScenario:
+    """A RUBBoS scenario spread across topology hosts.
+
+    ``shards`` lists hosts front-to-back; each serves a contiguous
+    slice of the tier chain.  Replicas — several trailing shards with
+    the same single back tier — are dispatched to by a
+    :class:`~repro.ntier.replicated.ReplicatedTier` of remote stubs on
+    the upstream shard.  The base scenario's attack co-locates with the
+    shard owning its target tier (the first replica when replicated).
+    """
+
+    name: str
+    base: RubbosScenario
+    topology: RackTopology
+    shards: Tuple[ShardSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shards) < 2:
+            raise ValueError("a datacenter scenario needs >= 2 shards")
+        if self.base.network is not None:
+            raise ValueError(
+                "datacenter scenarios model the fabric via cross-host "
+                "links; base.network must be None"
+            )
+        if self.base.hybrid is not None:
+            raise ValueError("datacenter scenarios run full DES")
+        if self.base.attack is not None:
+            _, wants_nic = split_attack_program(self.base.attack.program)
+            if wants_nic:
+                raise ValueError(
+                    "NIC attacks need an intra-host TierNetwork; "
+                    "datacenter scenarios support memory programs only"
+                )
+        hosts = [spec.host for spec in self.shards]
+        if len(set(hosts)) != len(hosts):
+            raise ValueError(f"duplicate shard hosts: {hosts}")
+        for host in hosts:
+            self.topology.rack_of(host)  # raises KeyError if unknown
+        self.layout()  # validates the chain tiling
+
+    def chain(self) -> Tuple[str, ...]:
+        """The full tier chain, front-to-back."""
+        return tuple(t.name for t in _tier_configs(self.base).tiers)
+
+    def layout(self) -> Tuple[Tuple[_Edge, ...], Tuple[int, ...]]:
+        """Validate the shard tiling; return (edges, replica shards).
+
+        Edges appear in chain order; for a replicated back tier the
+        upstream shard carries one edge per replica.
+        """
+        chain = self.chain()
+        slices = [spec.tiers for spec in self.shards]
+        edges: List[_Edge] = []
+        replicas: Tuple[int, ...] = ()
+        cursor = 0
+        prev: Optional[int] = None
+        i = 0
+        while i < len(slices):
+            tiers = slices[i]
+            if tiers != chain[cursor : cursor + len(tiers)]:
+                raise ValueError(
+                    f"shard {i} tiers {tiers!r} do not continue the "
+                    f"chain {chain!r} at position {cursor}"
+                )
+            group = [i]
+            while i + len(group) < len(slices) and slices[
+                i + len(group)
+            ] == tiers:
+                group.append(i + len(group))
+            if len(group) > 1:
+                if len(tiers) != 1 or cursor + 1 != len(chain):
+                    raise ValueError(
+                        "replicas are only supported for the single "
+                        f"back tier, got {tiers!r} x{len(group)}"
+                    )
+                replicas = tuple(group)
+            if prev is not None:
+                for member in group:
+                    edges.append(
+                        _Edge(len(edges), prev, member, tiers[0])
+                    )
+            elif cursor != 0:
+                raise ValueError("first shard must serve the front tier")
+            prev = group[-1]
+            cursor += len(tiers)
+            i += len(group)
+        if cursor != len(chain):
+            raise ValueError(
+                f"shards cover {chain[:cursor]!r}, chain is {chain!r}"
+            )
+        return tuple(edges), replicas
+
+    # -- derived protocol parameters -----------------------------------
+
+    def channel_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """Every directed host pair a channel runs over (call + reply)."""
+        edges, _ = self.layout()
+        pairs: List[Tuple[str, str]] = []
+        for edge in edges:
+            src = self.shards[edge.upstream].host
+            dst = self.shards[edge.downstream].host
+            pairs.append((src, dst))
+            pairs.append((dst, src))
+        return tuple(pairs)
+
+    @property
+    def window(self) -> float:
+        """The conservative safe-window width (min link lookahead)."""
+        return self.topology.min_lookahead(self.channel_pairs())
+
+    def attack_shard(self) -> Optional[int]:
+        """Index of the shard the adversary co-locates with."""
+        if self.base.attack is None:
+            return None
+        target = self.base.attack.target_tier
+        if target is None:
+            target = self.chain()[-1]
+        for index, spec in enumerate(self.shards):
+            if target in spec.tiers:
+                return index
+        raise ValueError(f"attack target {target!r} is on no shard")
+
+
+def _tier_configs(base: RubbosScenario) -> DeploymentConfig:
+    """The full-chain deployment config a base scenario describes."""
+    return rubbos_3tier(
+        apache_threads=base.apache_threads,
+        apache_backlog=base.apache_backlog,
+        tomcat_threads=base.tomcat_threads,
+        mysql_connections=base.mysql_connections,
+        host_spec=base.host_spec,
+        vcpus=base.tier_vcpus,
+    )
+
+
+#: Channel ids: edge ``e`` owns call channel ``2e`` (upstream →
+#: downstream) and reply channel ``2e + 1`` (downstream → upstream).
+def _channel_specs(
+    scenario: DatacenterScenario,
+) -> List[Tuple[int, int, int, str, str]]:
+    """(channel_id, sender_shard, receiver_shard, src_host, dst_host)."""
+    edges, _ = scenario.layout()
+    specs = []
+    for edge in edges:
+        up_host = scenario.shards[edge.upstream].host
+        down_host = scenario.shards[edge.downstream].host
+        specs.append(
+            (2 * edge.id, edge.upstream, edge.downstream, up_host, down_host)
+        )
+        specs.append(
+            (2 * edge.id + 1, edge.downstream, edge.upstream, down_host, up_host)
+        )
+    return specs
+
+
+def _make_link(
+    scenario: DatacenterScenario,
+    sim: Simulator,
+    src_host: str,
+    dst_host: str,
+) -> CrossHostLink:
+    """Build the cross-host link for one directed channel.
+
+    The link's guaranteed lookahead must dominate the scenario window;
+    the assertion catches any drift between the topology matrix and
+    the link's stage arithmetic.
+    """
+    topology = scenario.topology
+    spec = topology.link(src_host, dst_host)
+    link = CrossHostLink(
+        sim,
+        f"{src_host}->{dst_host}",
+        nic_rate=topology.nic_rate,
+        link_latency=spec.latency,
+        link_rate=spec.rate,
+    )
+    assert link.lookahead == topology.lookahead(src_host, dst_host)
+    return link
+
+
+@dataclass
+class _Domain:
+    """One shard's built world (either execution mode)."""
+
+    deployment: CloudDeployment
+    population: Optional[UserPopulation]
+    attack: Optional[MemCAAttack]
+    server: Optional[RemoteTierServer]
+    stubs: List[RemoteTierStub]
+    sketch: LogHistogram
+
+    @property
+    def app(self):
+        return self.deployment.app
+
+
+def _build_domain(
+    scenario: DatacenterScenario,
+    index: int,
+    sim: Simulator,
+    out_channels: Dict[int, Any],
+    in_channels: Dict[int, Any],
+) -> _Domain:
+    """Construct shard ``index``'s world on ``sim``.
+
+    ``out_channels`` / ``in_channels`` map channel ids to channel
+    objects (``LocalChannel`` or ``FrameChannel`` — same surface).
+    Construction order is fixed and identical across modes: deployment,
+    boundary stubs (edge order), server, population, attack.
+    """
+    spec = scenario.shards[index]
+    base = scenario.base
+    full = _tier_configs(base)
+    sub = DeploymentConfig(
+        tiers=tuple(t for t in full.tiers if t.name in spec.tiers),
+        host_spec=full.host_spec,
+        pin_package=full.pin_package,
+    )
+    concurrency = {t.name: t.concurrency for t in full.tiers}
+    streams = RandomStreams(base.seed)
+    deployment = CloudDeployment(sim, sub)
+    sketch = LogHistogram()
+    edges, _ = scenario.layout()
+
+    stubs: List[RemoteTierStub] = []
+    my_calls = [e for e in edges if e.upstream == index]
+    if my_calls:
+        remote_name = my_calls[0].tier
+        for edge in my_calls:
+            stub = RemoteTierStub(
+                sim,
+                remote_name,
+                out_channels[2 * edge.id],
+                concurrency=concurrency[remote_name],
+            )
+            in_channels[2 * edge.id + 1].bind(stub.deliver)
+            stubs.append(stub)
+        if len(stubs) > 1:
+            remote: Any = ReplicatedTier(
+                sim, remote_name, stubs, rng=streams.get("dispatch")
+            )
+        else:
+            remote = stubs[0]
+        deployment.app.tiers[-1].downstream = remote
+
+    server: Optional[RemoteTierServer] = None
+    my_serves = [e for e in edges if e.downstream == index]
+    if my_serves:
+        (edge,) = my_serves
+        server = RemoteTierServer(
+            sim,
+            deployment.app.front,
+            out_channels[2 * edge.id + 1],
+            sketch=sketch,
+        )
+        in_channels[2 * edge.id].bind(server.dispatch)
+
+    population: Optional[UserPopulation] = None
+    if index == 0:
+        workload = RubbosWorkload(rng=streams.get("workload"))
+        population = UserPopulation(
+            sim,
+            deployment.app,
+            workload.make_request,
+            users=base.users,
+            think_time=base.think_time,
+            rng=streams.get("users"),
+        )
+        population.start()
+
+    attack: Optional[MemCAAttack] = None
+    if scenario.attack_shard() == index:
+        aspec = base.attack
+        target = aspec.target_tier
+        if target is None:
+            target = scenario.chain()[-1]
+        mem_program, _ = split_attack_program(aspec.program)
+        program = make_attack_program(
+            AttackSpec(
+                program=mem_program,
+                length=aspec.length,
+                interval=aspec.interval,
+                intensity=aspec.intensity,
+                jitter=aspec.jitter,
+                adversaries=aspec.adversaries,
+                target_tier=target,
+            ),
+            base.host_spec.mem_bandwidth_mbps,
+        )
+        attack = MemCAAttack(
+            sim,
+            deployment,
+            program=program,
+            length=aspec.length,
+            interval=aspec.interval,
+            intensity=aspec.intensity,
+            adversaries=aspec.adversaries,
+            target_tier=target,
+            jitter=aspec.jitter,
+            rng=streams.get("attack"),
+            monitor_interval=base.monitor_interval,
+        )
+        attack.launch()
+
+    return _Domain(
+        deployment=deployment,
+        population=population,
+        attack=attack,
+        server=server,
+        stubs=stubs,
+        sketch=sketch,
+    )
+
+
+@dataclass
+class ShardResult:
+    """One shard's aggregates after a run.
+
+    In the unsharded reference mode the event counter is global, so the
+    whole count is reported on shard 0 (only the *sum* is meaningful in
+    either mode — that is the quantity the determinism gate compares).
+    """
+
+    index: int
+    host: str
+    tiers: Tuple[str, ...]
+    events: int
+    windows: int
+    sent: int
+    received: int
+    #: tier name -> (arrivals, completions, drops).
+    tier_stats: Dict[str, Tuple[int, int, int]]
+    sketch: LogHistogram
+
+
+@dataclass
+class DatacenterRun:
+    """Everything a datacenter experiment reports."""
+
+    scenario: DatacenterScenario
+    shards_used: int
+    window: float
+    shard_results: List[ShardResult]
+    #: Client-side requests from the front shard, completion order.
+    completed: List[Request]
+    failed: List[Request]
+
+    @property
+    def event_count(self) -> int:
+        """Total dispatched events across every shard simulator."""
+        return sum(result.events for result in self.shard_results)
+
+    @property
+    def latency(self) -> LogHistogram:
+        """All shards' latency sketches merged into one histogram.
+
+        The front shard observes client response times; server shards
+        observe their remote-call service times — one mergeable view of
+        where time is spent across the fabric.
+        """
+        merged = LogHistogram()
+        for result in self.shard_results:
+            merged.merge(result.sketch)
+        return merged
+
+    def client_requests(self) -> List[Request]:
+        """Completed requests that finished after warmup."""
+        return completed_after_warmup(
+            self.completed, self.scenario.base.warmup
+        )
+
+    def tier_stat(self, tier: str) -> Tuple[int, int, int]:
+        """(arrivals, completions, drops) for ``tier`` across shards."""
+        totals = [0, 0, 0]
+        for result in self.shard_results:
+            stats = result.tier_stats.get(tier)
+            if stats is not None:
+                for i in range(3):
+                    totals[i] += stats[i]
+        return tuple(totals)
+
+
+def _domain_stats(domain: _Domain) -> Dict[str, Tuple[int, int, int]]:
+    return {
+        tier.name: (tier.arrivals, tier.completions, tier.drops)
+        for tier in domain.app.tiers
+    }
+
+
+def _finish_front_sketch(domain: _Domain) -> None:
+    """Front shard: observe every client response time post-run."""
+    if domain.population is None:
+        return
+    for request in domain.app.completed:
+        rt = request.response_time
+        if rt is not None:
+            domain.sketch.observe(rt)
+
+
+def _default_stride(scenario: DatacenterScenario) -> int:
+    """Progress roughly once per simulated second."""
+    return max(1, int(round(1.0 / scenario.window)))
+
+
+def _run_single(
+    scenario: DatacenterScenario,
+    progress: Optional[Callable[[ShardWindow], None]],
+    bus: Any,
+) -> DatacenterRun:
+    """Reference mode: every shard domain in one shared simulator."""
+    sim = Simulator()
+    counter = EventCounter()
+    sim.attach_hooks(counter)
+    channels: Dict[int, LocalChannel] = {}
+    senders: Dict[int, int] = {}
+    receivers: Dict[int, int] = {}
+    for cid, sender, receiver, src, dst in _channel_specs(scenario):
+        channels[cid] = LocalChannel(_make_link(scenario, sim, src, dst), sim)
+        senders[cid] = sender
+        receivers[cid] = receiver
+    domains = [
+        _build_domain(
+            scenario,
+            index,
+            sim,
+            {cid: ch for cid, ch in channels.items() if senders[cid] == index},
+            {cid: ch for cid, ch in channels.items() if receivers[cid] == index},
+        )
+        for index in range(len(scenario.shards))
+    ]
+    with _population_frozen():
+        sim.run(until=scenario.base.duration)
+    results = []
+    for index, domain in enumerate(domains):
+        _finish_front_sketch(domain)
+        sent = sum(
+            ch.sent for cid, ch in channels.items() if senders[cid] == index
+        )
+        received = sum(
+            ch.sent for cid, ch in channels.items() if receivers[cid] == index
+        )
+        results.append(
+            ShardResult(
+                index=index,
+                host=scenario.shards[index].host,
+                tiers=scenario.shards[index].tiers,
+                events=counter.count if index == 0 else 0,
+                windows=0,
+                sent=sent,
+                received=received,
+                tier_stats=_domain_stats(domain),
+                sketch=domain.sketch,
+            )
+        )
+    front = domains[0]
+    return DatacenterRun(
+        scenario=scenario,
+        shards_used=1,
+        window=scenario.window,
+        shard_results=results,
+        completed=list(front.app.completed),
+        failed=list(front.app.failed),
+    )
+
+
+def _worker_main(
+    scenario: DatacenterScenario,
+    index: int,
+    out_conns: Dict[int, Any],
+    in_conns: Dict[int, Any],
+    result_conn: Any,
+    window_stride: int,
+) -> None:
+    """One shard worker: build, run the window loop, ship results."""
+    try:
+        sim = Simulator()
+        counter = EventCounter()
+        sim.attach_hooks(counter)
+        host = scenario.shards[index].host
+        out_channels: Dict[int, FrameChannel] = {}
+        in_channels: Dict[int, FrameChannel] = {}
+        for cid, sender, receiver, src, dst in _channel_specs(scenario):
+            if sender == index:
+                out_channels[cid] = FrameChannel(
+                    _make_link(scenario, sim, src, dst)
+                )
+            elif receiver == index:
+                # Receiver-side shell: carries only the bound handler
+                # (the sender's link computed the delivery timestamps).
+                in_channels[cid] = FrameChannel(None)
+        domain = _build_domain(
+            scenario, index, sim, out_channels, in_channels
+        )
+
+        def on_window(win: int, now: float, sent: int, received: int):
+            result_conn.send(
+                ("window", index, host, win, now, counter.count, sent, received)
+            )
+
+        runner = ShardRunner(
+            sim,
+            duration=scenario.base.duration,
+            window=scenario.window,
+            outgoing=[
+                (out_conns[cid], out_channels[cid])
+                for cid in sorted(out_channels)
+            ],
+            incoming=[
+                (in_conns[cid], in_channels[cid])
+                for cid in sorted(in_channels)
+            ],
+            on_window=on_window,
+            window_stride=window_stride,
+        )
+        with _population_frozen():
+            runner.run()
+        _finish_front_sketch(domain)
+        front = domain.population is not None
+        result_conn.send(
+            (
+                "done",
+                index,
+                {
+                    "host": host,
+                    "tiers": scenario.shards[index].tiers,
+                    "events": counter.count,
+                    "windows": runner.windows,
+                    "sent": runner.sent,
+                    "received": runner.received,
+                    "tier_stats": _domain_stats(domain),
+                    "sketch": domain.sketch,
+                    "completed": list(domain.app.completed) if front else [],
+                    "failed": list(domain.app.failed) if front else [],
+                },
+            )
+        )
+    except BaseException:
+        result_conn.send(("error", index, traceback.format_exc()))
+
+
+def run_datacenter(
+    scenario: DatacenterScenario,
+    shards: Optional[int] = None,
+    progress: Optional[Callable[[ShardWindow], None]] = None,
+    bus: Any = None,
+    window_stride: Optional[int] = None,
+) -> DatacenterRun:
+    """Execute a datacenter scenario.
+
+    ``shards=1`` runs the unsharded reference (one simulator);
+    ``shards=N`` (N = shard count, the default) runs one worker process
+    per shard.  ``progress`` and/or ``bus`` receive
+    :class:`~repro.sim.sharded.ShardWindow` reports — the bus on topic
+    ``"shard.window"`` — throttled to roughly one per shard per
+    simulated second (override with ``window_stride``).
+    """
+    n = len(scenario.shards)
+    if shards is None:
+        shards = n
+    if shards == 1:
+        return _run_single(scenario, progress, bus)
+    if shards != n:
+        raise ValueError(
+            f"{scenario.name} has {n} shards; run with shards=1 or "
+            f"shards={n}, got {shards}"
+        )
+    stride = window_stride or _default_stride(scenario)
+    ctx = mp.get_context("fork")
+    # One pipe per directed channel, endpoints handed to the two
+    # workers; one result pipe per worker back to the coordinator.
+    chan_recv: Dict[int, Any] = {}
+    chan_send: Dict[int, Any] = {}
+    specs = _channel_specs(scenario)
+    for cid, _, _, _, _ in specs:
+        r, w = ctx.Pipe(duplex=False)
+        chan_recv[cid] = r
+        chan_send[cid] = w
+    result_conns = []
+    workers = []
+    for index in range(n):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        out_conns = {
+            cid: chan_send[cid] for cid, s, _, _, _ in specs if s == index
+        }
+        in_conns = {
+            cid: chan_recv[cid] for cid, _, r, _, _ in specs if r == index
+        }
+        worker = ctx.Process(
+            target=_worker_main,
+            args=(scenario, index, out_conns, in_conns, child_conn, stride),
+            name=f"shard-{index}-{scenario.shards[index].host}",
+        )
+        worker.start()
+        result_conns.append(parent_conn)
+        workers.append(worker)
+
+    payloads: List[Optional[dict]] = [None] * n
+    pending = set(result_conns)
+    failure: Optional[str] = None
+    try:
+        while pending and failure is None:
+            for conn in mp_connection.wait(list(pending)):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    failure = "shard worker died without reporting"
+                    break
+                kind = message[0]
+                if kind == "window":
+                    _, idx, host, win, now, events, sent, received = message
+                    report = ShardWindow(
+                        shard=idx,
+                        host=host,
+                        index=win,
+                        now=now,
+                        events=events,
+                        sent=sent,
+                        received=received,
+                    )
+                    if bus is not None:
+                        bus.publish("shard.window", report)
+                    if progress is not None:
+                        progress(report)
+                elif kind == "done":
+                    payloads[message[1]] = message[2]
+                    pending.discard(conn)
+                else:  # "error"
+                    failure = message[2]
+                    break
+    finally:
+        if failure is not None:
+            for worker in workers:
+                worker.terminate()
+        for worker in workers:
+            worker.join()
+    if failure is not None:
+        raise RuntimeError(f"sharded run failed:\n{failure}")
+
+    results = [
+        ShardResult(
+            index=index,
+            host=payload["host"],
+            tiers=payload["tiers"],
+            events=payload["events"],
+            windows=payload["windows"],
+            sent=payload["sent"],
+            received=payload["received"],
+            tier_stats=payload["tier_stats"],
+            sketch=payload["sketch"],
+        )
+        for index, payload in enumerate(payloads)
+    ]
+    return DatacenterRun(
+        scenario=scenario,
+        shards_used=n,
+        window=scenario.window,
+        shard_results=results,
+        completed=payloads[0]["completed"],
+        failed=payloads[0]["failed"],
+    )
+
+
+#: Two hosts in two racks across the spine: apache+tomcat face the
+#: clients, mysql sits alone with the co-located lock adversary.  The
+#: determinism golden pins this scenario sharded and unsharded.
+DC_2HOST = DatacenterScenario(
+    name="dc-2host",
+    base=replace(
+        RubbosScenario(name="private-cloud").with_users(300),
+        name="dc-2host-base",
+        duration=6.0,
+        warmup=1.0,
+        seed=23,
+        attack=AttackSpec(program="lock"),
+    ),
+    topology=RackTopology(
+        racks=(("r1", ("h1",)), ("r2", ("h2",))),
+    ),
+    shards=(
+        ShardSpec(host="h1", tiers=("apache", "tomcat")),
+        ShardSpec(host="h2", tiers=("mysql",)),
+    ),
+)
+
+#: Four hosts, two racks: apache and the mysql replicas split across
+#: racks, tomcat dispatching to a ReplicatedTier of remote stubs — the
+#: cross-rack replicated-bottleneck scenario the single-host kernel
+#: could not express.  The adversary co-locates with replica 0 (h2),
+#: so one replica degrades while its rack-peer stays clean.  The
+#: roomier link latencies widen the safe window for the speedup bench.
+DC_4HOST = DatacenterScenario(
+    name="dc-4host",
+    base=replace(
+        RubbosScenario(name="private-cloud").with_users(30000),
+        name="dc-4host-base",
+        duration=8.0,
+        warmup=1.0,
+        seed=29,
+        attack=AttackSpec(program="lock"),
+    ),
+    topology=RackTopology(
+        racks=(("r1", ("h1", "h2")), ("r2", ("h3", "h4"))),
+        tor_latency=0.006,
+        spine_latency=0.012,
+    ),
+    shards=(
+        ShardSpec(host="h1", tiers=("apache",)),
+        ShardSpec(host="h3", tiers=("tomcat",)),
+        ShardSpec(host="h2", tiers=("mysql",)),
+        ShardSpec(host="h4", tiers=("mysql",)),
+    ),
+)
+
+#: Registered datacenter scenarios, by name (CLI ``run --shards``).
+DATACENTERS: Dict[str, DatacenterScenario] = {
+    "dc-2host": DC_2HOST,
+    "dc-4host": DC_4HOST,
+}

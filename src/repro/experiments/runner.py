@@ -254,6 +254,8 @@ def run_rubbos(
                         cpu=tier.vm.cpu,
                         pool=tier.pool,
                         demand=workload.mean_demand(tier.name),
+                        link_down=tier.link_down,
+                        link_up=tier.link_up,
                     )
                     for tier in deployment.app.tiers
                 ],

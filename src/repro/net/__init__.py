@@ -17,9 +17,10 @@ from .queues import (
     NetworkOverflowError,
     QueueChain,
 )
-from .fabric import NicActivity, SharedNic, TierNetwork
+from .fabric import CrossHostLink, NicActivity, SharedNic, TierNetwork
 
 __all__ = [
+    "CrossHostLink",
     "FiniteQueue",
     "NetEvent",
     "NetworkConfig",

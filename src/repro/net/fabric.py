@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .queues import FiniteQueue, NetworkConfig, QueueChain
 
-__all__ = ["NicActivity", "SharedNic", "TierNetwork"]
+__all__ = ["CrossHostLink", "NicActivity", "SharedNic", "TierNetwork"]
 
 
 @dataclass
@@ -264,3 +264,90 @@ class TierNetwork:
         return sum(
             ring.delivered / (ring.rate * duration) for ring in rings
         ) / len(rings)
+
+
+class CrossHostLink:
+    """One directed cross-host hop with a *synchronous* delivery clock.
+
+    The sharded kernel needs a delivery timestamp the moment a message
+    is sent — the sending shard must hand the receiving shard a fully
+    timestamped event, and no process on the sender may sleep through
+    the transfer (the message leaves the shard; nothing local waits on
+    it).  So unlike :class:`QueueChain.transfer`, the traversal here is
+    *virtual*: :meth:`delivery_time` walks the stages' monotone
+    serialization horizons (``admit`` immediately followed by
+    ``depart``), accumulating the same per-stage delays a chain would
+    impose, and returns ``last departure + latency``.  Overlapping
+    bursts still serialize (the horizons are shared state), but nothing
+    is ever buffered and nothing drops — cross-shard RPCs are reliable
+    transport; loss physics stays on the intra-host chains.
+
+    Two stages model the path's narrow points: the sender's NIC ring
+    and the ToR/spine uplink port from the topology matrix's
+    :class:`~repro.cloud.topology.LinkSpec`.
+
+    The conservative protocol's bound: every stage delay is at least
+    its unloaded service time and ``latency`` is constant, so any
+    message sent at ``t`` delivers no earlier than ``t + lookahead``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        nic_rate: float,
+        link_latency: float,
+        link_rate: float,
+        buffer: int = 256,
+    ):
+        if link_latency <= 0:
+            raise ValueError(
+                f"link_latency must be positive: {link_latency}"
+            )
+        self.sim = sim
+        self.name = name
+        self.latency = link_latency
+        self.stages = [
+            FiniteQueue(sim, f"{name}:nic_tx", nic_rate, buffer),
+            FiniteQueue(sim, f"{name}:uplink", link_rate, buffer),
+        ]
+        self.messages = 0
+
+    @property
+    def min_latency(self) -> float:
+        """Unloaded one-message traversal time (idle stages)."""
+        return (
+            sum(stage.service_time for stage in self.stages)
+            + self.latency
+        )
+
+    @property
+    def lookahead(self) -> float:
+        """The conservative lookahead this link guarantees.
+
+        ``delivery_time(t) >= t + lookahead`` for every send — service
+        times only stretch under background and horizons only push
+        delivery later.  Must equal the topology matrix's
+        :meth:`~repro.cloud.topology.RackTopology.lookahead` for the
+        same host pair (asserted by the shard builder).
+        """
+        return self.min_latency
+
+    def delivery_time(self, now: float) -> float:
+        """Reserve one message's traversal; return its delivery time."""
+        self.messages += 1
+        t = now
+        for stage in self.stages:
+            admitted = stage.admit(t)
+            if admitted is None:
+                # Ring held full by background fill — cross-host links
+                # carry no attacker traffic in the current scenarios,
+                # so this is defensive: degrade to one service time
+                # past the horizon rather than dropping (the link is
+                # reliable transport by contract).
+                t += stage.service_time
+                continue
+            departure, _ = admitted
+            stage.depart()
+            t = departure
+        return t + self.latency

@@ -387,6 +387,38 @@ class QueueChain:
         return None
 
     @property
+    def min_latency(self) -> float:
+        """Serialization floor: one message through an idle chain.
+
+        The sum of every stage's unloaded service time plus the
+        propagation delay — the *minimum possible* end-to-end traversal
+        time.  Background shares and queue horizons only add delay, so
+        this is the lookahead bound the sharded kernel's conservative
+        window protocol derives from queue chains (DESIGN.md §12).
+        """
+        return (
+            sum(stage.service_time for stage in self.stages)
+            + self.propagation
+        )
+
+    def fluid_delay(self) -> float:
+        """Mean-field per-message traversal delay at the current load.
+
+        The hybrid fluid engine folds this into the bulk flow's
+        cross-tier rate: each stage's service time stretched by its
+        current background share (exactly how :meth:`FiniteQueue.admit`
+        stretches foreground serialization), plus propagation.  A
+        first-order estimate — it tracks attacker microbursts through
+        ``bg_share`` but ignores transient horizon backlog, which only
+        the discrete sampled requests feel.  With no background this
+        equals :attr:`min_latency`.
+        """
+        total = self.propagation
+        for stage in self.stages:
+            total += stage.service_time / (1.0 - stage.bg_share)
+        return total
+
+    @property
     def drops(self) -> int:
         """Total stage-level discards (retransmitted or not)."""
         return sum(stage.dropped for stage in self.stages)

@@ -673,6 +673,25 @@ class Simulator:
         """Schedule bare ``fn()`` after ``delay`` seconds (not waitable)."""
         self.defer_at(self._now + delay, fn)
 
+    def inject(self, time: float, fn: Callable[[], None]) -> None:
+        """Inject an externally sourced event at absolute ``time``.
+
+        The entry point the sharded kernel uses between safe windows:
+        a message received from another shard becomes a bare timer at
+        its pre-computed delivery timestamp.  ``time`` must not be in
+        the past — the conservative window protocol *guarantees* every
+        cross-shard delivery lands strictly inside a future window, so
+        a violation here means the lookahead bound was broken and the
+        run must abort loudly rather than silently reorder
+        (:class:`SimulationError` via :meth:`defer_at`).
+
+        Injected entries share the normal timed queue and sequence
+        counter, so dispatch order against local events at the same
+        timestamp is exactly what a single shared simulator would have
+        produced had the sender scheduled the delivery directly.
+        """
+        self.defer_at(time, fn)
+
     # -- scheduling / main loop ----------------------------------------
 
     def _schedule(self, event: Event, time: float, priority: int) -> None:

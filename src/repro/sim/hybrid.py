@@ -117,6 +117,23 @@ class FluidTier:
     pool: Resource
     #: Mean bulk CPU demand at this tier (seconds at nominal speed).
     demand: float
+    #: Routed queue chains to/from the next tier down (``None`` when the
+    #: scenario has no network model, or at the last tier).  When set,
+    #: the engine folds their :meth:`~repro.net.queues.QueueChain.
+    #: fluid_delay` into the per-request cycle time, so the bulk feels
+    #: network microbursts through the same serialization horizons as
+    #: the discrete requests.
+    link_down: Any = None
+    link_up: Any = None
+
+    def network_delay(self) -> float:
+        """Current fluid network time per request at this tier's hop."""
+        delay = 0.0
+        if self.link_down is not None:
+            delay += self.link_down.fluid_delay()
+        if self.link_up is not None:
+            delay += self.link_up.fluid_delay()
+        return delay
 
     @property
     def capacity(self) -> int:
@@ -352,7 +369,21 @@ class FluidEngine:
                         load = runnable + tier.cpu.active_jobs
                         cores = tier.cpu.cores
                         share = 1.0 if load < cores else cores / load
-                        mu = speeds[i] * share * runnable / demand
+                        net = tier.network_delay()
+                        if net > 0.0:
+                            # Routed hop: the per-request cycle time is
+                            # CPU service plus the chain's current fluid
+                            # serialization delay, so background fill
+                            # (NIC attacks, microbursts) slows the bulk
+                            # exactly like the discrete requests.
+                            mu = runnable / (
+                                demand / (speeds[i] * share) + net
+                            )
+                        else:
+                            # Zero-network fast path: keep the original
+                            # expression verbatim — same float rounding,
+                            # byte-identical to pre-network hybrid runs.
+                            mu = speeds[i] * share * runnable / demand
                         served = mu * dt
                     else:
                         served = xi  # Zero-demand tier: passes through.

@@ -1,0 +1,232 @@
+"""Sharded parallel DES: conservative safe-window synchronization.
+
+The kernel-side half of the multi-host datacenter runner
+(:mod:`repro.experiments.datacenter`): each simulated host runs its own
+:class:`~repro.sim.core.Simulator` — in a dedicated worker process when
+sharded, or side by side in one simulator when not — and cross-host
+RPCs travel as timestamped event messages over per-link ordered
+channels.
+
+The synchronization protocol (DESIGN.md §12, proof sketch there):
+
+* Every cross-shard link guarantees a *lookahead* ``L``: a message
+  sent at time ``s`` delivers no earlier than ``s + L`` (serialization
+  through idle queues plus propagation; load only adds delay).
+* All shards advance in lock-step windows of width
+  ``W = min L over every cross-shard link``.  Window ``k`` covers the
+  half-open interval ``(t_{k-1}, t_k]`` — ``run(until=h)`` executes
+  events with timestamp ``<= h``, so an event at exactly ``t_{k-1}``
+  ran in the previous window.
+* Every send in window ``k`` happens at ``s > t_{k-1}``, hence delivers
+  at ``>= s + L > t_{k-1} + W = t_k`` — strictly inside a *future*
+  window.  Exchanging each link's buffered frame once per window
+  boundary (an empty frame doubles as the null message) therefore
+  injects every remote event before the window that must dispatch it.
+* Within one link, delivery timestamps are strictly increasing (the
+  link's serialization horizon is monotone), so per-link frames are
+  ordered; across links, received events are sorted by
+  ``(delivery time, link rank, intra-frame index)`` before injection.
+
+Exchange is symmetric — every shard sends on all its outgoing links,
+then receives on all its incoming links, once per window — so the
+blocking reads cannot deadlock as long as frames stay smaller than the
+pipe buffer (they are a handful of tuples per window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .core import Simulator
+
+__all__ = [
+    "EventCounter",
+    "FrameChannel",
+    "LocalChannel",
+    "ShardRunner",
+    "ShardWindow",
+]
+
+
+class EventCounter:
+    """Kernel hooks object counting dispatched events exactly.
+
+    The sharded acceptance gate: the *sum* of per-shard counts must
+    equal the single-process run's count.  ``on_events`` is batched
+    (stride) but the kernel flushes the remainder on every ``run``
+    return, so cumulative counts are exact whenever the simulator is
+    between runs — which is exactly when the window loop reads them.
+    """
+
+    event_stride = 512
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def on_events(self, count: int, now: float, pending: int) -> None:
+        self.count += count
+
+    def on_process(self, process: Any) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class ShardWindow:
+    """One shard's progress report, published on ``shard.window``."""
+
+    shard: int
+    host: str
+    #: 1-based window index (== completed windows).
+    index: int
+    #: Simulation time the shard has advanced to.
+    now: float
+    #: Cumulative dispatched events on this shard.
+    events: int
+    #: Cumulative cross-shard messages sent / received.
+    sent: int
+    received: int
+
+
+class LocalChannel:
+    """A cross-host channel inside one shared simulator.
+
+    The unsharded reference mode: ``send`` computes the delivery
+    timestamp through the link's serialization horizon and schedules
+    the handler directly on the destination simulator's timed queue —
+    the exact entry the sharded mode later reproduces via
+    :meth:`Simulator.inject` at a window boundary.
+    """
+
+    def __init__(self, link: Any, dst_sim: Simulator):
+        self.link = link
+        self.dst_sim = dst_sim
+        self._handler: Optional[Callable[[Any], None]] = None
+        self.sent = 0
+
+    def bind(self, handler: Callable[[Any], None]) -> None:
+        self._handler = handler
+
+    def send(self, now: float, payload: Any) -> None:
+        self.sent += 1
+        self.dst_sim.defer_at(
+            self.link.delivery_time(now), partial(self._handler, payload)
+        )
+
+
+class FrameChannel:
+    """A cross-host channel buffering sends into a per-window frame.
+
+    The sharded mode: ``send`` stamps each payload with its delivery
+    timestamp (same link arithmetic as :class:`LocalChannel`) and
+    appends it to the current frame; the window loop drains the frame
+    into the transport at each boundary.  On the receiving side the
+    bound handler is invoked by the injected timer.
+    """
+
+    def __init__(self, link: Any):
+        self.link = link
+        self._frame: List[Tuple[float, Any]] = []
+        self._handler: Optional[Callable[[Any], None]] = None
+        self.sent = 0
+
+    def bind(self, handler: Callable[[Any], None]) -> None:
+        self._handler = handler
+
+    def send(self, now: float, payload: Any) -> None:
+        self.sent += 1
+        self._frame.append((self.link.delivery_time(now), payload))
+
+    def drain(self) -> List[Tuple[float, Any]]:
+        frame = self._frame
+        self._frame = []
+        return frame
+
+    def deliver(self, payload: Any) -> None:
+        self._handler(payload)
+
+
+class ShardRunner:
+    """One shard's lock-step window loop.
+
+    ``outgoing`` / ``incoming`` pair each channel with its transport
+    (any object with ``send(obj)`` / ``recv()`` — a multiprocessing
+    ``Connection`` in production, a queue shim in tests).  **Ordering
+    contract:** ``incoming`` must list channels in the same global
+    rank order on every shard and every run — the rank is the
+    cross-link tie-breaker for simultaneous deliveries.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        window: float,
+        outgoing: Sequence[Tuple[Any, FrameChannel]],
+        incoming: Sequence[Tuple[Any, Any]],
+        on_window: Optional[Callable[[int, float, int, int], None]] = None,
+        window_stride: int = 1,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        self.sim = sim
+        self.duration = duration
+        self.window = window
+        self.outgoing = list(outgoing)
+        self.incoming = list(incoming)
+        self.on_window = on_window
+        self.window_stride = max(1, int(window_stride))
+        self.windows = 0
+        self.sent = 0
+        self.received = 0
+
+    def run(self) -> None:
+        """Advance to ``duration`` in lock-step safe windows."""
+        sim = self.sim
+        inject = sim.inject
+        duration = self.duration
+        width = self.window
+        on_window = self.on_window
+        stride = self.window_stride
+        t = 0.0
+        index = 0
+        while t < duration:
+            t_end = t + width
+            if t_end > duration:
+                t_end = duration
+            sim.run(until=t_end)
+            # Send-all, then receive-all: the symmetric exchange that
+            # doubles as the null-message barrier.
+            for transport, channel in self.outgoing:
+                frame = channel.drain()
+                self.sent += len(frame)
+                transport.send(frame)
+            staged: List[Tuple[float, int, int, Any, Any]] = []
+            for rank, (transport, channel) in enumerate(self.incoming):
+                frame = transport.recv()
+                self.received += len(frame)
+                deliver = channel.deliver
+                for idx, (time, payload) in enumerate(frame):
+                    staged.append((time, rank, idx, deliver, payload))
+            if staged:
+                if len(staged) > 1:
+                    staged.sort(key=_stage_key)
+                # inject refuses timestamps before t_end — a violation
+                # of the lookahead bound aborts loudly instead of
+                # silently reordering dispatch.
+                for time, _, _, deliver, payload in staged:
+                    inject(time, partial(deliver, payload))
+            index += 1
+            t = t_end
+            if on_window is not None and (
+                index % stride == 0 or t >= duration
+            ):
+                on_window(index, t, self.sent, self.received)
+        self.windows = index
+
+
+def _stage_key(entry: Tuple) -> Tuple[float, int, int]:
+    return (entry[0], entry[1], entry[2])

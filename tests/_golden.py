@@ -66,6 +66,17 @@ GOLDEN_NET = replace(
 )
 
 
+#: The multi-host family's golden: the 2-host datacenter scenario.
+#: Runs through ``run_datacenter`` — ``shards=1`` is the single-process
+#: reference (one simulator, LocalChannel cross-host links), and the
+#: sharded determinism suite asserts ``shards=2`` reproduces this CSV
+#: byte for byte (DESIGN.md §12).
+def run_golden_dc(shards: int = 1):
+    from repro.experiments.datacenter import DC_2HOST, run_datacenter
+
+    return run_datacenter(DC_2HOST, shards=shards)
+
+
 def requests_csv_text(run) -> str:
     """The run's post-warmup request table as canonical CSV text."""
     rows = requests_to_rows(run.client_requests(), tiers=TIERS)
@@ -116,10 +127,12 @@ def snapshots() -> dict:
     fig2 = run_golden_fig2()
     fig9 = run_golden_fig9()
     net = run_golden_net()
+    dc = run_golden_dc()
     return {
         "fig2_requests.csv": requests_csv_text(fig2),
         "fig9_requests.csv": requests_csv_text(fig9),
         "fig9_sketch.json": sketch_json_text(fig9),
         "fig9_attribution.txt": attribution_text(fig9),
         "net_requests.csv": requests_csv_text(net),
+        "dc2_requests.csv": requests_csv_text(dc),
     }

@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net import (
+    CrossHostLink,
     FiniteQueue,
     NetworkConfig,
     NetworkOverflowError,
@@ -20,6 +21,7 @@ from repro.net import (
 from repro.ntier import RetransmissionPolicy, TierOverflowError
 from repro.sim import Simulator
 from repro.sim.core import Timeout
+from repro.sim.sharded import FrameChannel, ShardRunner
 
 
 def drive(sim, chain, start, results, count=1):
@@ -263,6 +265,167 @@ class TestProtocolBehaviors:
             q.set_background(-0.1, 0.0)
         with pytest.raises(ValueError):
             q.set_background(0.0, -0.1)
+
+
+class _Preloaded:
+    """Test transport: hand back the staged frame at each window."""
+
+    def __init__(self, frames):
+        self._frames = list(frames)
+
+    def send(self, frame):  # pragma: no cover - receiver-only shim
+        raise AssertionError("receiver transport never sends")
+
+    def recv(self):
+        return self._frames.pop(0)
+
+
+class TestShardBoundaryProperties:
+    """The sharded kernel's contracts on the network layer (§12).
+
+    The window loop advances each shard with ``run(until=h)`` at
+    boundaries chosen by the topology, not by the traffic — so chain
+    retransmission state (armed RTO timers, exhaustion instants) must
+    be indifferent to where those boundaries land.  And cross-shard
+    frames must stay ordered per link with a deterministic cross-link
+    merge, whatever the interleaving of delivery timestamps.
+    """
+
+    @given(
+        starts=st.lists(
+            st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+            min_size=1,
+            max_size=25,
+        ),
+        window=st.floats(
+            min_value=0.005, max_value=0.25, allow_nan=False
+        ),
+        buffer=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_stepping_preserves_retransmission_outcomes(
+        self, starts, window, buffer
+    ):
+        # Same burst into a tiny ring, once straight through and once
+        # stepped in arbitrary safe-window increments: boundaries land
+        # mid-RTO and on exhaustion instants, yet every delivery time,
+        # failure time, drop and attempt count must match exactly.
+        def outcomes(step):
+            sim = Simulator()
+            chain = QueueChain(
+                sim,
+                "a->b",
+                [FiniteQueue(sim, "ring", rate=200.0, buffer=buffer)],
+                tcp=RetransmissionPolicy(
+                    min_rto=0.02, backoff=2.0, max_retries=2
+                ),
+            )
+            results = []
+            for t in starts:
+                drive(sim, chain, t, results)
+            if step is None:
+                sim.run()
+            else:
+                horizon = 0.0
+                while horizon < 1.0:
+                    horizon += step
+                    sim.run(until=horizon)
+                sim.run()  # drain anything past the stepped horizon
+            counters = (
+                chain.delivered,
+                chain.failed,
+                chain.drops,
+                chain.attempts,
+            )
+            return results, counters
+
+        assert outcomes(None) == outcomes(window)
+
+    @given(
+        sends=st.lists(
+            st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        share=st.floats(min_value=0.0, max_value=0.97, allow_nan=False),
+        fill=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cross_host_delivery_dominates_lookahead_under_background(
+        self, sends, share, fill
+    ):
+        # The conservative bound the safe window is built on: whatever
+        # background contention holds the stages, a message sent at t
+        # delivers no earlier than t + lookahead (to the ULP — the
+        # stage walk accumulates, the lookahead sums up front), and
+        # time-ordered sends produce time-ordered deliveries.
+        sim = Simulator()
+        link = CrossHostLink(
+            sim,
+            "h1->h2",
+            nic_rate=120000.0,
+            link_latency=0.0005,
+            link_rate=200000.0,
+        )
+        for stage in link.stages:
+            stage.set_background(share, fill)
+        previous = float("-inf")
+        for t in sorted(sends):
+            delivery = link.delivery_time(t)
+            assert delivery >= t + link.lookahead - 1e-12
+            assert delivery >= previous
+            previous = delivery
+
+    @given(
+        times_x=st.lists(
+            st.floats(
+                min_value=0.10001, max_value=0.2, allow_nan=False
+            ),
+            max_size=12,
+        ),
+        times_y=st.lists(
+            st.floats(
+                min_value=0.10001, max_value=0.2, allow_nan=False
+            ),
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cross_link_merge_orders_by_time_rank_index(
+        self, times_x, times_y
+    ):
+        # Two incoming links with arbitrary (possibly tied) delivery
+        # stamps: dispatch follows (time, link rank, intra-frame idx),
+        # so the merge is deterministic and per-link FIFO is stable.
+        times_x, times_y = sorted(times_x), sorted(times_y)
+        sim = Simulator()
+        order = []
+        x, y = FrameChannel(None), FrameChannel(None)
+        x.bind(order.append)
+        y.bind(order.append)
+        frames_x = [[(t, ("x", i)) for i, t in enumerate(times_x)], []]
+        frames_y = [[(t, ("y", i)) for i, t in enumerate(times_y)], []]
+        runner = ShardRunner(
+            sim,
+            duration=0.2,
+            window=0.1,
+            outgoing=[],
+            incoming=[(_Preloaded(frames_x), x), (_Preloaded(frames_y), y)],
+        )
+        runner.run()
+        staged = [
+            (t, 0, i, ("x", i)) for i, t in enumerate(times_x)
+        ] + [(t, 1, i, ("y", i)) for i, t in enumerate(times_y)]
+        expected = [p for _, _, _, p in sorted(staged)]
+        assert order == expected
+        assert runner.received == len(times_x) + len(times_y)
+        # Per-link relative order survives the merge (stability).
+        assert [i for tag, i in order if tag == "x"] == list(
+            range(len(times_x))
+        )
+        assert [i for tag, i in order if tag == "y"] == list(
+            range(len(times_y))
+        )
 
 
 class TestNetworkConfigValidation:

@@ -1,0 +1,505 @@
+"""Unit tests for the sharded-kernel building blocks (DESIGN.md §12).
+
+The end-to-end byte-identity gate lives in ``test_determinism.py``
+(``TestShardedDeterminism``); this module pins the pieces it composes:
+the rack/ToR topology matrix and its lookahead arithmetic, placement
+policies, the cross-host link's synchronous delivery clock, the
+``Simulator.inject`` boundary contract, the ``ShardRunner`` window
+loop with in-memory transports, the remote tier stub/server RPC pair,
+and the datacenter scenario's layout validation.
+"""
+
+from dataclasses import replace
+from functools import partial
+
+import pytest
+
+from repro.cloud import (
+    LinkSpec,
+    RackTopology,
+    binpack_placement,
+    rack_aware_placement,
+)
+from repro.experiments.datacenter import (
+    DC_2HOST,
+    DC_4HOST,
+    DatacenterScenario,
+    ShardSpec,
+    run_datacenter,
+)
+from repro.net import CrossHostLink
+from repro.ntier import TierOverflowError
+from repro.ntier.remote import (
+    RemoteTierServer,
+    RemoteTierStub,
+    marshal_request,
+    unmarshal_request,
+)
+from repro.ntier.request import Request
+from repro.sim import SimulationError, Simulator
+from repro.sim.core import Timeout
+from repro.sim.sharded import FrameChannel, ShardRunner
+
+TOPO = RackTopology(racks=(("r1", ("a", "b")), ("r2", ("c", "d"))))
+
+
+class TestRackTopology:
+    def test_same_rack_pairs_use_the_tor_link(self):
+        spec = TOPO.link("a", "b")
+        assert spec == LinkSpec(TOPO.tor_latency, TOPO.tor_rate)
+
+    def test_cross_rack_pairs_pay_oversubscribed_spine(self):
+        spec = TOPO.link("a", "c")
+        assert spec.latency == TOPO.spine_latency
+        assert spec.rate == TOPO.spine_rate / TOPO.oversubscription
+
+    def test_lookahead_is_idle_nic_plus_port_plus_propagation(self):
+        for src, dst in (("a", "b"), ("b", "c")):
+            spec = TOPO.link(src, dst)
+            assert TOPO.lookahead(src, dst) == pytest.approx(
+                1.0 / TOPO.nic_rate + 1.0 / spec.rate + spec.latency
+            )
+
+    def test_min_lookahead_takes_the_tightest_pair(self):
+        pairs = [("a", "b"), ("a", "c"), ("d", "a")]
+        assert TOPO.min_lookahead(pairs) == min(
+            TOPO.lookahead(s, d) for s, d in pairs
+        )
+        # ToR hops bound the window, not the slower spine hops.
+        assert TOPO.min_lookahead(pairs) == TOPO.lookahead("a", "b")
+
+    def test_min_lookahead_rejects_empty_pair_set(self):
+        with pytest.raises(ValueError):
+            TOPO.min_lookahead([])
+
+    def test_unknown_host_and_self_link_rejected(self):
+        with pytest.raises(KeyError):
+            TOPO.rack_of("nowhere")
+        with pytest.raises(ValueError):
+            TOPO.link("a", "a")
+
+    def test_structural_validation(self):
+        with pytest.raises(ValueError):
+            RackTopology(racks=())
+        with pytest.raises(ValueError):
+            RackTopology(racks=(("r1", ()),))
+        with pytest.raises(ValueError):
+            RackTopology(racks=(("r1", ("a",)), ("r2", ("a",))))
+        with pytest.raises(ValueError):
+            RackTopology(racks=(("r1", ("a",)),), nic_rate=0.0)
+
+    def test_hosts_enumerates_in_rack_order(self):
+        assert TOPO.hosts == ("a", "b", "c", "d")
+
+
+class TestPlacement:
+    def test_rack_aware_alternates_racks(self):
+        placement = rack_aware_placement(("w", "x", "y", "z"), TOPO)
+        assert placement == {"w": "a", "x": "c", "y": "b", "z": "d"}
+        racks = [TOPO.rack_of(h) for h in placement.values()]
+        assert racks == ["r1", "r2", "r1", "r2"]
+
+    def test_binpack_fills_first_rack_first(self):
+        placement = binpack_placement(("w", "x", "y"), TOPO)
+        assert placement == {"w": "a", "x": "b", "y": "c"}
+
+    def test_both_policies_reject_overflow(self):
+        tiers = tuple(f"t{i}" for i in range(5))
+        with pytest.raises(ValueError):
+            rack_aware_placement(tiers, TOPO)
+        with pytest.raises(ValueError):
+            binpack_placement(tiers, TOPO)
+
+
+class TestCrossHostLink:
+    def make_link(self, sim, src="a", dst="c"):
+        spec = TOPO.link(src, dst)
+        return CrossHostLink(
+            sim,
+            f"{src}->{dst}",
+            nic_rate=TOPO.nic_rate,
+            link_latency=spec.latency,
+            link_rate=spec.rate,
+        )
+
+    def test_lookahead_matches_topology_matrix(self):
+        sim = Simulator()
+        for src, dst in (("a", "b"), ("a", "c")):
+            link = self.make_link(sim, src, dst)
+            assert link.lookahead == pytest.approx(
+                TOPO.lookahead(src, dst)
+            )
+            assert link.lookahead == link.min_latency
+
+    def test_delivery_never_beats_lookahead(self):
+        # delivery_time walks the stages (t += ...) while lookahead sums
+        # them up front, so the comparison is exact only to the ULP.
+        sim = Simulator()
+        link = self.make_link(sim)
+        for t in (0.0, 0.001, 0.5, 0.5, 2.0):
+            assert link.delivery_time(t) >= t + link.lookahead - 1e-12
+
+    def test_burst_serializes_on_monotone_horizons(self):
+        # Simultaneous sends share the stage horizons: delivery times
+        # strictly increase even though nothing buffers or drops.
+        sim = Simulator()
+        link = self.make_link(sim)
+        deliveries = [link.delivery_time(0.0) for _ in range(20)]
+        assert deliveries == sorted(deliveries)
+        assert len(set(deliveries)) == len(deliveries)
+        assert link.messages == 20
+
+    def test_positive_latency_required(self):
+        with pytest.raises(ValueError):
+            CrossHostLink(
+                Simulator(),
+                "bad",
+                nic_rate=1e5,
+                link_latency=0.0,
+                link_rate=1e5,
+            )
+
+
+class TestInject:
+    def test_past_timestamp_aborts_loudly(self):
+        # The lookahead-violation detector: a cross-shard delivery
+        # stamped before the window boundary must raise, not reorder.
+        sim = Simulator()
+        sim.run(until=1.0)
+        with pytest.raises(SimulationError):
+            sim.inject(0.5, lambda: None)
+
+    def test_injected_events_share_the_timed_queue(self):
+        sim = Simulator()
+        order = []
+        sim.defer_at(1.0, lambda: order.append("local"))
+        sim.inject(0.5, lambda: order.append("early"))
+        sim.inject(1.0, lambda: order.append("tied-later"))
+        sim.run()
+        # Same queue, same sequence counter: FIFO among equal stamps.
+        assert order == ["early", "local", "tied-later"]
+
+
+class ConstantLink:
+    """A test link: fixed delivery delay, no shared horizon state."""
+
+    def __init__(self, lookahead):
+        self.lookahead = lookahead
+
+    def delivery_time(self, now):
+        return now + self.lookahead
+
+
+class ListTransport:
+    """In-memory one-directional transport: preloaded recv frames."""
+
+    def __init__(self, frames=()):
+        self.sent = []
+        self._frames = list(frames)
+
+    def send(self, frame):
+        self.sent.append(frame)
+
+    def recv(self):
+        return self._frames.pop(0)
+
+
+class TestShardRunner:
+    WINDOW = 0.1
+
+    def run_sender(self, sends, duration=0.4):
+        """Drive a sender shard; return the per-window frames it shipped."""
+        sim = Simulator()
+        channel = FrameChannel(ConstantLink(self.WINDOW))
+        transport = ListTransport()
+        for t, payload in sends:
+            sim.defer_at(t, partial(channel.send, t, payload))
+        runner = ShardRunner(
+            sim,
+            duration=duration,
+            window=self.WINDOW,
+            outgoing=[(transport, channel)],
+            incoming=[],
+        )
+        runner.run()
+        return runner, transport.sent
+
+    def test_sends_land_in_their_windows_frames(self):
+        sends = [(0.05, "a"), (0.11, "b"), (0.19, "c"), (0.23, "d")]
+        runner, frames = self.run_sender(sends)
+        assert runner.windows == 4
+        assert runner.sent == 4
+        assert len(frames) == 4  # one frame per window, empties included
+        # A send at s in window (t_{k-1}, t_k] stamps delivery s + L,
+        # strictly past t_k — the protocol's safe-window invariant.
+        for k, frame in enumerate(frames):
+            t_end = (k + 1) * self.WINDOW
+            for time, _ in frame:
+                assert time > t_end
+        assert [p for f in frames for _, p in f] == ["a", "b", "c", "d"]
+
+    def test_receiver_dispatches_at_stamped_times(self):
+        sends = [(0.05, "a"), (0.11, "b"), (0.19, "c"), (0.23, "d")]
+        _, frames = self.run_sender(sends)
+        sim = Simulator()
+        channel = FrameChannel(ConstantLink(self.WINDOW))
+        seen = []
+        channel.bind(lambda payload: seen.append((sim.now, payload)))
+        runner = ShardRunner(
+            sim,
+            duration=0.4,
+            window=self.WINDOW,
+            outgoing=[],
+            incoming=[(ListTransport(frames), channel)],
+        )
+        runner.run()
+        assert runner.received == 4
+        assert seen == [
+            (pytest.approx(t + self.WINDOW), p) for t, p in sends
+        ]
+
+    def test_simultaneous_deliveries_order_by_link_rank_then_index(self):
+        sim = Simulator()
+        x, y = FrameChannel(None), FrameChannel(None)
+        order = []
+        x.bind(lambda p: order.append(p))
+        y.bind(lambda p: order.append(p))
+        frames_x = [[(0.15, "x0"), (0.15, "x1")], []]
+        frames_y = [[(0.15, "y0"), (0.17, "y-later")], []]
+        runner = ShardRunner(
+            sim,
+            duration=0.2,
+            window=self.WINDOW,
+            outgoing=[],
+            incoming=[
+                (ListTransport(frames_x), x),
+                (ListTransport(frames_y), y),
+            ],
+        )
+        runner.run()
+        # Equal stamps break ties by (link rank, intra-frame index).
+        assert order == ["x0", "x1", "y0", "y-later"]
+
+    def test_lookahead_violation_aborts_the_run(self):
+        sim = Simulator()
+        channel = FrameChannel(None)
+        channel.bind(lambda p: None)
+        # Stamped *inside* window 1: by the time the frame is injected
+        # the shard already advanced past it.
+        frames = [[(0.05, "late")], []]
+        runner = ShardRunner(
+            sim,
+            duration=0.2,
+            window=self.WINDOW,
+            outgoing=[],
+            incoming=[(ListTransport(frames), channel)],
+        )
+        with pytest.raises(SimulationError):
+            runner.run()
+
+    def test_on_window_honors_stride_and_final_flush(self):
+        calls = []
+        sim = Simulator()
+        runner = ShardRunner(
+            sim,
+            duration=0.35,  # 4 windows, last one short
+            window=self.WINDOW,
+            outgoing=[],
+            incoming=[],
+            on_window=lambda *a: calls.append(a),
+            window_stride=2,
+        )
+        runner.run()
+        assert runner.windows == 4
+        indices = [index for index, *_ in calls]
+        # Every stride boundary plus the mandatory final report.
+        assert indices == [2, 4]
+        assert calls[-1][1] == pytest.approx(0.35)
+
+    def test_rejects_degenerate_geometry(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ShardRunner(sim, duration=1.0, window=0.0, outgoing=[], incoming=[])
+        with pytest.raises(ValueError):
+            ShardRunner(sim, duration=0.0, window=0.1, outgoing=[], incoming=[])
+
+
+class DirectChannel:
+    """Loopback channel: deliver to the bound handler after ``delay``."""
+
+    def __init__(self, sim, delay=0.001):
+        self.sim = sim
+        self.delay = delay
+        self._handler = None
+
+    def bind(self, handler):
+        self._handler = handler
+
+    def send(self, now, payload):
+        self.sim.defer_at(now + self.delay, partial(self._handler, payload))
+
+
+class FakeTier:
+    """Minimal chain tail: fixed service time, optional overflow."""
+
+    def __init__(self, sim, name="mysql", fail=False):
+        self.sim = sim
+        self.name = name
+        self.fail = fail
+
+    def handle(self, request):
+        start = self.sim.now
+        yield Timeout(self.sim, 0.02)
+        if self.fail:
+            raise TierOverflowError(self.name)
+        request.tier_spans.setdefault(self.name, []).append(
+            (start, self.sim.now)
+        )
+
+
+def make_request(rid=7):
+    return Request(
+        rid=rid,
+        page="StoriesOfTheDay",
+        demands={"mysql": 0.02},
+        t_first_attempt=0.0,
+        weight=1.0,
+    )
+
+
+class TestRemoteTier:
+    def wire(self, fail=False):
+        sim = Simulator()
+        call, reply = DirectChannel(sim), DirectChannel(sim)
+        stub = RemoteTierStub(sim, "mysql", call, concurrency=8)
+        server = RemoteTierServer(sim, FakeTier(sim, fail=fail), reply)
+        call.bind(server.dispatch)
+        reply.bind(stub.deliver)
+        return sim, stub, server
+
+    def test_marshal_roundtrip_copies_demands(self):
+        request = make_request()
+        frame = marshal_request(request)
+        assert frame == (7, "StoriesOfTheDay", {"mysql": 0.02}, 1.0)
+        request.demands["mysql"] = 99.0  # sender-side mutation
+        assert frame[2] == {"mysql": 0.02}
+        shadow = unmarshal_request(frame, now=3.5)
+        assert (shadow.rid, shadow.page) == (7, "StoriesOfTheDay")
+        assert shadow.t_first_attempt == 3.5
+
+    def test_call_merges_remote_spans_into_the_original(self):
+        sim, stub, server = self.wire()
+        request = make_request()
+        done = []
+
+        def client():
+            yield from stub.handle(request)
+            done.append(sim.now)
+
+        sim.process(client())
+        sim.run()
+        # One channel hop out, remote service, one hop back.
+        assert done == [pytest.approx(0.001 + 0.02 + 0.001)]
+        assert request.tier_spans["mysql"] == [
+            (pytest.approx(0.001), pytest.approx(0.021))
+        ]
+        assert (stub.arrivals, stub.completions, stub.drops) == (1, 1, 0)
+        assert (server.calls, server.replies) == (1, 1)
+        assert stub.occupancy == 0
+
+    def test_remote_overflow_reraises_with_remote_tier_name(self):
+        sim, stub, server = self.wire(fail=True)
+        caught = []
+
+        def client():
+            try:
+                yield from stub.handle(make_request())
+            except TierOverflowError as overflow:
+                caught.append(overflow.tier)
+
+        sim.process(client())
+        sim.run()
+        assert caught == ["mysql"]
+        assert (stub.completions, stub.drops) == (0, 1)
+        assert server.replies == 1
+
+    def test_concurrent_calls_demultiplex_by_call_id(self):
+        sim, stub, _ = self.wire()
+        finished = []
+
+        def client(rid):
+            yield from stub.handle(make_request(rid))
+            finished.append(rid)
+
+        for rid in (1, 2, 3):
+            sim.process(client(rid))
+        sim.run()
+        assert sorted(finished) == [1, 2, 3]
+        assert stub.completions == 3
+        assert stub.occupancy == 0
+
+
+class TestDatacenterScenarioValidation:
+    def test_registered_scenarios_are_well_formed(self):
+        assert DC_2HOST.chain() == ("apache", "tomcat", "mysql")
+        edges, replicas = DC_2HOST.layout()
+        assert [e.tier for e in edges] == ["mysql"]
+        assert replicas == ()
+        edges4, replicas4 = DC_4HOST.layout()
+        assert [e.tier for e in edges4] == ["tomcat", "mysql", "mysql"]
+        assert replicas4 == (2, 3)
+        assert DC_2HOST.window == pytest.approx(
+            DC_2HOST.topology.min_lookahead(DC_2HOST.channel_pairs())
+        )
+
+    def test_needs_at_least_two_shards(self):
+        with pytest.raises(ValueError, match=">= 2 shards"):
+            replace(DC_2HOST, shards=DC_2HOST.shards[:1])
+
+    def test_duplicate_and_unknown_hosts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            replace(
+                DC_2HOST,
+                shards=(
+                    ShardSpec(host="h1", tiers=("apache", "tomcat")),
+                    ShardSpec(host="h1", tiers=("mysql",)),
+                ),
+            )
+        with pytest.raises(KeyError):
+            replace(
+                DC_2HOST,
+                shards=(
+                    ShardSpec(host="h1", tiers=("apache", "tomcat")),
+                    ShardSpec(host="nowhere", tiers=("mysql",)),
+                ),
+            )
+
+    def test_shards_must_tile_the_chain_in_order(self):
+        with pytest.raises(ValueError, match="do not continue"):
+            replace(
+                DC_2HOST,
+                shards=(
+                    ShardSpec(host="h1", tiers=("mysql",)),
+                    ShardSpec(host="h2", tiers=("apache", "tomcat")),
+                ),
+            )
+        with pytest.raises(ValueError, match="shards cover"):
+            replace(
+                DC_2HOST,
+                shards=(
+                    ShardSpec(host="h1", tiers=("apache",)),
+                    ShardSpec(host="h2", tiers=("tomcat",)),
+                ),
+            )
+
+    def test_network_and_hybrid_bases_rejected(self):
+        from repro.experiments.configs import NetworkConfig
+
+        with pytest.raises(ValueError, match="base.network"):
+            replace(
+                DC_2HOST, base=replace(DC_2HOST.base, network=NetworkConfig())
+            )
+
+    def test_run_rejects_partial_shard_counts(self):
+        with pytest.raises(ValueError, match="shards=2"):
+            run_datacenter(DC_2HOST, shards=3)
