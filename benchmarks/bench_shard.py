@@ -1,28 +1,49 @@
-"""Sharded-kernel benchmark: determinism gate + parallel speedup.
+"""Sharded-kernel benchmark: determinism gate + exchange overhead.
 
-Two questions about ``repro.sim.sharded`` + ``run_datacenter``, each
+Three questions about ``repro.sim.sharded`` + ``run_datacenter``, each
 with a ``--check`` gate:
 
-* **identity** — a sharded run (one worker process per simulated host,
-  conservative safe-window exchange) must be *byte-identical* to the
-  single-process reference: same post-warmup request CSV, the exact
-  same total dispatched-event count, and an identical merged latency
-  sketch.  This gate is unconditional — it holds on any box, at any
-  core count, and is the property DESIGN.md §12 proves.
-* **speedup** — with one core per worker the sharded run must beat the
-  single-process wall clock by the floor factor (2x on the 4-host
-  scenario; the 2-host quick scenario gets a weak sanity floor — its
-  ~2 ms safe window makes it an exchange-overhead stress, not a
-  speedup showcase).  The floor is only *gated* when the machine has
-  at least as many cores as workers; otherwise the measured ratio and
-  the core count are recorded in the JSON and the gate is skipped —
-  byte identity, not wall clock, is the portable contract.
+* **identity** — a sharded run (worker processes synchronized by the
+  safe-window exchange) must be *byte-identical* to the
+  single-process reference in every transport mode: same post-warmup
+  request CSV, the exact same total dispatched-event count, and an
+  identical merged latency sketch.  This gate is unconditional — it
+  holds on any box, at any core count, and is the property DESIGN.md
+  §12 proves.
+* **sync overhead** — the adaptive safe-window protocol + packed
+  frame transport must cut per-window synchronization work by at
+  least ``SYNC_REDUCTION_FLOOR`` versus the legacy fixed-window
+  pickle wire.  The unit is deterministic and core-count-independent:
+  the legacy wire pays one general pickle per cross-shard *message*
+  plus one send per *frame* (``units = messages + frames``); the
+  packed wire pays one struct-packed buffer per frame and nothing
+  per message (``units = frames``), and adaptive widening/skip makes
+  the frames themselves sparser.  Both runs cover the same simulated
+  duration, so the unit ratio *is* the per-window overhead ratio.
+  Gated in full mode when both modes run (``--mode both``, the
+  default); in quick mode the ratio is recorded but not gated —
+  dc-2host's only cross-host link sits at the base lookahead, so
+  adaptive widening has nothing to cut there.
+* **speedup** — with one core per worker the sharded run must beat
+  the single-process wall clock by the floor factor.  Wall clock is
+  the one machine-dependent gate: it is only enforced when the box
+  has at least as many cores as workers; otherwise the measured
+  ratio is recorded and an explicit ``wall-clock gate skipped
+  (cores < shards)`` line is printed — byte identity and the sync
+  unit count, not wall clock, are the portable contracts.
+
+Full mode additionally runs the **dc-8host hybrid leg**: every shard
+worker carries a per-host million-user fluid bulk (8M users total),
+gated byte-identical to its own single-process reference with the
+wall time recorded.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_shard.py            # full run
     PYTHONPATH=src python benchmarks/bench_shard.py --check    # full gate
     PYTHONPATH=src python benchmarks/bench_shard.py --quick --check  # CI
+    PYTHONPATH=src python benchmarks/bench_shard.py --quick --check \
+        --mode fixed                                    # legacy wire only
 
 Results land in ``benchmarks/results/BENCH_shard.json`` (or
 ``BENCH_shard_quick.json`` with ``--quick``).
@@ -47,11 +68,25 @@ RESULTS_DIR = os.path.join(
 #: Full mode is the ISSUE's acceptance bar: >= 2x on dc-4host with 4
 #: workers.  Quick mode only proves the machinery isn't pathological —
 #: dc-2host finishes single-process in well under a second, so worker
-#: spawn + ~3k window exchanges dominate any 2-way parallelism; the
-#: floor is a 5x-slowdown tripwire, not a speedup claim.
+#: spawn + thousands of window exchanges dominate any 2-way
+#: parallelism; the floor is a 5x-slowdown tripwire, not a speedup
+#: claim.
 SPEEDUP_FLOOR = {"full": 2.0, "quick": 0.2}
 
+#: Minimum reduction in sync units per window, adaptive+packed versus
+#: fixed+pickle, gated whenever both modes run.
+SYNC_REDUCTION_FLOOR = 5.0
+
 SCENARIOS = {"full": "dc-4host", "quick": "dc-2host"}
+
+#: Transport-mode name -> run_datacenter kwargs.  "fixed" is the
+#: legacy lock-step pickle wire; "adaptive" is the per-link
+#: safe-window protocol on struct-packed frames (the default mode of
+#: ``run_datacenter``).
+MODES = {
+    "fixed": {"adaptive": False, "packed": False},
+    "adaptive": {"adaptive": True, "packed": True},
+}
 
 
 def _requests_csv(run) -> str:
@@ -85,16 +120,63 @@ def _sketch_state(run) -> dict:
     }
 
 
-def _measure(scenario, shards: int) -> tuple:
+def _measure(scenario, shards: int, **kwargs) -> tuple:
     from repro.experiments.datacenter import run_datacenter
 
     t0 = time.perf_counter()
-    run = run_datacenter(scenario, shards=shards)
+    run = run_datacenter(scenario, shards=shards, **kwargs)
     wall = time.perf_counter() - t0
     return run, wall
 
 
-def bench_shard(quick: bool) -> dict:
+def _sync_units(run, mode: str) -> int:
+    """Core-count-independent synchronization work of a sharded run.
+
+    Legacy pickle wire: every cross-shard message is pickled through
+    the general object machinery and every frame is one send.  Packed
+    wire: one struct-packed buffer per frame, per-message cost is a
+    fixed-format pack (counted as zero units — it is bounded by the
+    memcpy the pickle wire *also* pays).
+    """
+    messages = sum(r.sent for r in run.shard_results)
+    frames = run.frames_exchanged
+    return messages + frames if MODES[mode]["packed"] is False else frames
+
+
+def _mode_record(run, wall: float, mode: str, reference) -> dict:
+    single, single_csv = reference
+    return {
+        "wall_seconds": wall,
+        "events": run.event_count,
+        "completed": len(run.completed),
+        "failed": len(run.failed),
+        "rounds": run.rounds,
+        "cross_shard_messages": sum(r.sent for r in run.shard_results),
+        "frames": run.frames_exchanged,
+        "wire_bytes": run.wire_bytes,
+        "sync_units": _sync_units(run, mode),
+        "identity": {
+            "requests_csv": _requests_csv(run) == single_csv,
+            "event_count": run.event_count == single.event_count,
+            "latency_sketch": (
+                _sketch_state(run) == _sketch_state(single)
+            ),
+        },
+        "per_shard": [
+            {
+                "host": r.host,
+                "tiers": list(r.tiers),
+                "events": r.events,
+                "sent": r.sent,
+                "received": r.received,
+                "frames": r.frames,
+            }
+            for r in run.shard_results
+        ],
+    }
+
+
+def bench_shard(quick: bool, modes) -> dict:
     from repro.experiments.datacenter import DATACENTERS
 
     name = SCENARIOS["quick" if quick else "full"]
@@ -102,70 +184,93 @@ def bench_shard(quick: bool) -> dict:
     shards = len(scenario.shards)
 
     single, single_wall = _measure(scenario, 1)
-    sharded, sharded_wall = _measure(scenario, shards)
-
     single_csv = _requests_csv(single)
-    sharded_csv = _requests_csv(sharded)
+    reference = (single, single_csv)
+
     report = {
         "scenario": name,
         "users": scenario.base.users,
         "sim_seconds": scenario.base.duration,
         "shards": shards,
         "window_seconds": scenario.window,
-        "windows": max(r.windows for r in sharded.shard_results),
-        "cross_shard_messages": sum(
-            r.sent for r in sharded.shard_results
-        ),
+        "request_rows": single_csv.count("\n") - 1,
         "single_process": {
             "wall_seconds": single_wall,
             "events": single.event_count,
             "completed": len(single.completed),
             "failed": len(single.failed),
         },
-        "sharded": {
-            "wall_seconds": sharded_wall,
-            "events": sharded.event_count,
-            "completed": len(sharded.completed),
-            "failed": len(sharded.failed),
-            "per_shard": [
-                {
-                    "host": r.host,
-                    "tiers": list(r.tiers),
-                    "events": r.events,
-                    "sent": r.sent,
-                    "received": r.received,
-                }
-                for r in sharded.shard_results
-            ],
-        },
+        "modes": {},
+    }
+    for mode in modes:
+        run, wall = _measure(scenario, shards, **MODES[mode])
+        report["modes"][mode] = _mode_record(run, wall, mode, reference)
+
+    if "fixed" in report["modes"] and "adaptive" in report["modes"]:
+        fixed_units = report["modes"]["fixed"]["sync_units"]
+        adaptive_units = report["modes"]["adaptive"]["sync_units"]
+        report["sync_unit_reduction"] = (
+            fixed_units / adaptive_units if adaptive_units else float("inf")
+        )
+    return report
+
+
+def bench_hybrid(modes) -> dict:
+    """The dc-8host hybrid leg: 1M fluid users per host, 8 hosts."""
+    from repro.experiments.datacenter import DATACENTERS
+
+    scenario = DATACENTERS["dc-8host"]
+    shards = len(scenario.shards)
+    single, single_wall = _measure(scenario, 1)
+    single_csv = _requests_csv(single)
+    mode = "adaptive" if "adaptive" in modes else "fixed"
+    run, wall = _measure(scenario, shards, **MODES[mode])
+    fluid = run.fluid_totals
+    return {
+        "scenario": "dc-8host",
+        "users": scenario.base.users,
+        "bulk_users_per_host": scenario.bulk.users_per_host,
+        "bulk_users_total": fluid["bulk_users"] if fluid else 0.0,
+        "sim_seconds": scenario.base.duration,
+        "shards": shards,
+        "mode": mode,
+        "single_wall_seconds": single_wall,
+        "sharded_wall_seconds": wall,
+        "fluid_completed": fluid["completed"] if fluid else 0.0,
+        "fluid_dropped": fluid["dropped"] if fluid else 0.0,
         "identity": {
-            "requests_csv": sharded_csv == single_csv,
-            "request_rows": single_csv.count("\n") - 1,
-            "event_count": sharded.event_count == single.event_count,
+            "requests_csv": _requests_csv(run) == single_csv,
+            "event_count": run.event_count == single.event_count,
             "latency_sketch": (
-                _sketch_state(sharded) == _sketch_state(single)
+                _sketch_state(run) == _sketch_state(single)
             ),
         },
-        "speedup": single_wall / sharded_wall,
     }
-    return report
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI smoke: dc-2host (2 workers) instead of dc-4host (4)",
+        help="CI smoke: dc-2host (2 workers) instead of dc-4host (4), "
+             "and no dc-8host hybrid leg",
+    )
+    parser.add_argument(
+        "--mode", choices=("both", "adaptive", "fixed"), default="both",
+        help="which sharded transport mode(s) to run; the sync-overhead "
+             "reduction gate needs 'both' (default)",
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit nonzero unless the sharded run is byte-identical to "
-             "the single-process reference, and (when the box has "
-             "enough cores) beats it by the speedup floor",
+        help="exit nonzero unless every sharded run is byte-identical "
+             "to the single-process reference, the adaptive wire cuts "
+             "sync units by the floor (when both modes run), and (when "
+             "the box has enough cores) the wall-clock floor holds",
     )
     parser.add_argument("--out", default=None, help="output JSON path")
     args = parser.parse_args()
 
+    modes = ("adaptive", "fixed") if args.mode == "both" else (args.mode,)
     cpu_count = os.cpu_count() or 1
     report = {
         "kind": "sharded-kernel-benchmark",
@@ -174,29 +279,56 @@ def main() -> int:
         "machine": platform.machine(),
         "cpu_count": cpu_count,
     }
-    result = bench_shard(args.quick)
+    result = bench_shard(args.quick, modes)
     report.update(result)
 
     print(
         f"{result['scenario']}: {result['users']:,} users x "
         f"{result['sim_seconds']:g}s over {result['shards']} hosts, "
-        f"window {result['window_seconds'] * 1e3:.2f}ms "
-        f"({result['windows']} windows, "
-        f"{result['cross_shard_messages']} cross-shard messages)"
+        f"window {result['window_seconds'] * 1e3:.2f}ms, "
+        f"single-process {result['single_process']['wall_seconds']:.2f}s"
     )
-    print(
-        f"  single-process {result['single_process']['wall_seconds']:.2f}s"
-        f"  sharded {result['sharded']['wall_seconds']:.2f}s"
-        f"  -> {result['speedup']:.2f}x on {cpu_count} core(s)"
-    )
-    identity = result["identity"]
-    print(
-        f"  identity: csv={identity['requests_csv']} "
-        f"({identity['request_rows']} rows) "
-        f"events={identity['event_count']} "
-        f"({result['sharded']['events']:,}) "
-        f"sketch={identity['latency_sketch']}"
-    )
+    for mode in modes:
+        rec = result["modes"][mode]
+        identity = rec["identity"]
+        print(
+            f"  {mode:>8}: {rec['wall_seconds']:.2f}s, "
+            f"{rec['rounds']} rounds, {rec['frames']} frames, "
+            f"{rec['cross_shard_messages']} messages, "
+            f"{rec['sync_units']} sync units"
+        )
+        print(
+            f"  {'':>8}  identity: csv={identity['requests_csv']} "
+            f"({result['request_rows']} rows) "
+            f"events={identity['event_count']} ({rec['events']:,}) "
+            f"sketch={identity['latency_sketch']}"
+        )
+    if "sync_unit_reduction" in result:
+        print(
+            f"  sync-unit reduction (fixed/adaptive): "
+            f"{result['sync_unit_reduction']:.1f}x"
+        )
+
+    hybrid = None
+    if not args.quick:
+        hybrid = bench_hybrid(modes)
+        report["hybrid"] = hybrid
+        print(
+            f"{hybrid['scenario']} hybrid leg: "
+            f"{hybrid['bulk_users_total']:,.0f} fluid users "
+            f"({hybrid['bulk_users_per_host']:,} per host) + "
+            f"{hybrid['users']:,} discrete, "
+            f"single {hybrid['single_wall_seconds']:.2f}s, "
+            f"{hybrid['shards']} shards {hybrid['sharded_wall_seconds']:.2f}s "
+            f"({hybrid['mode']})"
+        )
+        print(
+            f"  fluid: {hybrid['fluid_completed']:.0f} completed, "
+            f"{hybrid['fluid_dropped']:.0f} dropped; identity: "
+            f"csv={hybrid['identity']['requests_csv']} "
+            f"events={hybrid['identity']['event_count']} "
+            f"sketch={hybrid['identity']['latency_sketch']}"
+        )
 
     out = args.out or os.path.join(
         RESULTS_DIR,
@@ -222,44 +354,69 @@ def main() -> int:
                 failed = True
 
         gate(
-            identity["requests_csv"],
-            "sharded request CSV byte-identical to single-process",
-            "sharded request CSV differs from single-process reference",
-        )
-        gate(
-            identity["event_count"],
-            f"event counts match exactly "
-            f"({result['sharded']['events']:,})",
-            f"event counts differ: sharded "
-            f"{result['sharded']['events']:,} vs single "
-            f"{result['single_process']['events']:,}",
-        )
-        gate(
-            identity["latency_sketch"],
-            "merged latency sketches identical",
-            "merged latency sketches differ",
-        )
-        gate(
-            result["identity"]["request_rows"] > 0,
-            f"{identity['request_rows']} post-warmup requests compared",
-            "no post-warmup requests: the identity gate compared "
+            result["request_rows"] > 0,
+            f"{result['request_rows']} post-warmup requests compared",
+            "no post-warmup requests: the identity gates compared "
             "nothing",
         )
+        legs = [(mode, result["modes"][mode]["identity"]) for mode in modes]
+        if hybrid is not None:
+            legs.append(("dc-8host hybrid", hybrid["identity"]))
+        for leg, identity in legs:
+            for check, ok in identity.items():
+                gate(
+                    ok,
+                    f"[{leg}] {check} identical to single-process",
+                    f"[{leg}] {check} differs from single-process "
+                    f"reference",
+                )
+        if "sync_unit_reduction" in result:
+            reduction = result["sync_unit_reduction"]
+            if args.quick:
+                # dc-2host's only cross-host link sits at the base
+                # lookahead, so adaptive widening has nothing to cut;
+                # the reduction floor is a dc-4host (full) property.
+                print(
+                    f"SKIP: sync-reduction floor "
+                    f"({SYNC_REDUCTION_FLOOR:g}x) not gated in quick "
+                    f"mode; measured {reduction:.1f}x"
+                )
+            else:
+                gate(
+                    reduction >= SYNC_REDUCTION_FLOOR,
+                    f"sync units per window cut {reduction:.1f}x >= "
+                    f"{SYNC_REDUCTION_FLOOR:g}x (adaptive+packed vs "
+                    f"fixed+pickle)",
+                    f"sync units per window cut only {reduction:.1f}x < "
+                    f"{SYNC_REDUCTION_FLOOR:g}x",
+                )
         floor = SPEEDUP_FLOOR["quick" if args.quick else "full"]
-        if cpu_count >= result["shards"]:
-            gate(
-                result["speedup"] >= floor,
-                f"speedup {result['speedup']:.2f}x >= {floor:g}x "
-                f"({result['shards']} workers on {cpu_count} cores)",
-                f"speedup {result['speedup']:.2f}x < {floor:g}x "
-                f"({result['shards']} workers on {cpu_count} cores)",
+        for mode in modes:
+            rec = result["modes"][mode]
+            speedup = (
+                result["single_process"]["wall_seconds"]
+                / rec["wall_seconds"]
             )
-        else:
-            print(
-                f"SKIP: speedup floor ({floor:g}x) not gated — "
-                f"{cpu_count} core(s) < {result['shards']} workers; "
-                f"measured {result['speedup']:.2f}x"
-            )
+            rec["speedup"] = speedup
+            if cpu_count >= result["shards"]:
+                gate(
+                    speedup >= floor,
+                    f"[{mode}] speedup {speedup:.2f}x >= {floor:g}x "
+                    f"({result['shards']} workers on {cpu_count} cores)",
+                    f"[{mode}] speedup {speedup:.2f}x < {floor:g}x "
+                    f"({result['shards']} workers on {cpu_count} cores)",
+                )
+            else:
+                print(
+                    f"SKIP: wall-clock gate skipped (cores < shards) — "
+                    f"{cpu_count} core(s) < {result['shards']} workers; "
+                    f"floor {floor:g}x, measured {speedup:.2f}x "
+                    f"({mode})"
+                )
+        # Re-write the JSON so the speedup fields land in it too.
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
         if failed:
             return 1
     return 0

@@ -439,6 +439,33 @@ def _hybrid_from_args(args):
     )
 
 
+def _parse_shards(value):
+    """argparse type for ``--shards``: a positive int or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
+def _resolve_shards(args, scenario) -> int:
+    """Resolve ``--shards`` for a datacenter scenario.
+
+    ``auto`` picks ``min(hosts, cpu cores)`` — every worker gets a
+    core when the box has enough, and workers are merged into grouped
+    shards rather than oversubscribing when it does not.  Unset
+    defaults to one shard per host (the maximally parallel layout).
+    """
+    if args.shards == "auto":
+        return max(1, min(len(scenario.shards), os.cpu_count() or 1))
+    if args.shards is not None:
+        return args.shards
+    return len(scenario.shards)
+
+
 def _datacenter_scenario(args, name):
     """Resolve a datacenter scenario with --duration/--users applied."""
     from .experiments.datacenter import DATACENTERS
@@ -467,15 +494,19 @@ def _run_datacenter(args, name) -> int:
     from .experiments.datacenter import run_datacenter
 
     scenario = _datacenter_scenario(args, name)
-    shards = args.shards if args.shards is not None else len(scenario.shards)
+    shards = _resolve_shards(args, scenario)
+    adaptive = not args.fixed_window
+    mode = "adaptive" if adaptive else "fixed"
     print(
         f"running datacenter scenario {name!r} "
         f"({len(scenario.shards)} hosts, {scenario.base.users} users, "
         f"{scenario.base.duration:.0f}s, shards={shards}, "
-        f"window={scenario.window * 1e3:.2f}ms)..."
+        f"window={scenario.window * 1e3:.2f}ms, {mode} windows)..."
     )
     started = time.time()
-    run = run_datacenter(scenario, shards=shards)
+    run = run_datacenter(
+        scenario, shards=shards, adaptive=adaptive, packed=adaptive
+    )
     wall = time.time() - started
     for result in run.shard_results:
         tiers = ",".join(result.tiers)
@@ -490,6 +521,18 @@ def _run_datacenter(args, name) -> int:
     print(
         f"kernel: {run.event_count} events across {shards} shard(s)"
     )
+    if shards > 1:
+        print(
+            f"transport: {run.frames_exchanged} frames, "
+            f"{run.wire_bytes} wire bytes"
+        )
+    fluid = run.fluid_totals
+    if fluid is not None:
+        print(
+            f"fluid bulk: {fluid['bulk_users']:.0f} users across hosts, "
+            f"{fluid['completed']:.0f} completed, "
+            f"{fluid['dropped']:.0f} dropped"
+        )
     print(f"requests: {len(requests)} completed post-warmup, "
           f"{len(run.failed)} failed")
     rts = np.array(
@@ -519,12 +562,14 @@ def _monitor_datacenter(args, name) -> int:
     from .obs.bus import EventBus
 
     scenario = _datacenter_scenario(args, name)
-    shards = args.shards if args.shards is not None else len(scenario.shards)
+    shards = _resolve_shards(args, scenario)
+    adaptive = not args.fixed_window
     print(
         f"monitoring datacenter scenario {name!r} "
         f"({len(scenario.shards)} hosts, {scenario.base.users} users, "
         f"{scenario.base.duration:.0f}s, shards={shards}, "
-        f"window={scenario.window * 1e3:.2f}ms)..."
+        f"window={scenario.window * 1e3:.2f}ms, "
+        f"{'adaptive' if adaptive else 'fixed'} windows)..."
     )
     if shards == 1:
         print(
@@ -565,7 +610,9 @@ def _monitor_datacenter(args, name) -> int:
     bus = EventBus()
     bus.subscribe("shard.window", show)
     started = time.time()
-    run = run_datacenter(scenario, shards=shards, bus=bus)
+    run = run_datacenter(
+        scenario, shards=shards, bus=bus, adaptive=adaptive, packed=adaptive
+    )
     wall = time.time() - started
     requests = run.client_requests()
     print(
@@ -857,17 +904,25 @@ def main(argv=None) -> int:
         help=(
             "scenario name for 'trace'/'monitor'/'run' (fig9, fig2, "
             "private-cloud, ec2, net-baseline, net-attack, "
-            "stealth-dual; multi-host: dc-2host, dc-4host) or "
-            "experiment name for 'sweep'"
+            "stealth-dual; multi-host: dc-2host, dc-4host, dc-8host, "
+            "dc-16host) or experiment name for 'sweep'"
         ),
     )
     parser.add_argument(
         "--shards",
-        type=int,
+        type=_parse_shards,
         default=None,
         help="worker-process count for multi-host scenarios "
              "('run'/'monitor' on dc-* scenarios; default: one per "
-             "host, 1 = single-process reference mode)",
+             "host, 1 = single-process reference mode, 'auto' = "
+             "min(hosts, cpu cores))",
+    )
+    parser.add_argument(
+        "--fixed-window",
+        action="store_true",
+        help="disable the adaptive safe-window protocol and packed "
+             "frame transport for dc-* runs (fixed lock-step windows "
+             "on the pickle wire; byte-identical results either way)",
     )
     parser.add_argument(
         "--out",

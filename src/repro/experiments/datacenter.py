@@ -2,19 +2,38 @@
 
 A :class:`DatacenterScenario` partitions the RUBBoS tier chain across
 the hosts of a :class:`~repro.cloud.topology.RackTopology`: each host
-is one **shard** with its own :class:`~repro.sim.core.Simulator`,
-deployment slice, and RNG streams; cross-host tier→tier RPCs travel as
-timestamped frames through :class:`~repro.net.fabric.CrossHostLink`
-channels under the conservative safe-window protocol of
-:mod:`repro.sim.sharded` (DESIGN.md §12).
+is one **shard** with its own deployment slice and RNG streams;
+cross-host tier→tier RPCs travel as timestamped frames through
+:class:`~repro.net.fabric.CrossHostLink` channels under the
+conservative safe-window protocol of :mod:`repro.sim.sharded`
+(DESIGN.md §12).
 
 ``run_datacenter(scenario, shards=1)`` executes every shard domain
 side by side inside **one** simulator (deliveries scheduled directly
-at send time) — the reference interleaving.  ``shards=N`` runs one
-worker process per shard in lock-step windows; dispatch order within
-each shard is identical to the reference, so request CSVs and event
+at send time) — the reference interleaving.  ``shards=K`` for
+``2 <= K <= n`` runs ``K`` worker processes, each owning a contiguous
+*group* of shard domains in one simulator: channels inside a group
+stay direct (:class:`~repro.sim.sharded.LocalChannel`), only
+cross-group channels go through the frame exchange, whose base window
+is the min lookahead over the *cross-group* links.  ``K == n`` is the
+one-host-per-worker sharding; dispatch order within each simulator is
+identical to the reference in every mode, so request CSVs and event
 counts match byte for byte (``tests/test_determinism.py``) while the
 wall clock drops with the core count (``benchmarks/bench_shard.py``).
+
+By default workers exchange **adaptive** windows over the **packed**
+frame transport (struct rows + per-link string interning instead of
+per-message pickling); ``adaptive=False`` / ``packed=False`` select
+the fixed-window protocol and the PR-9 pickle wire — all four
+combinations are byte-identical to the reference.
+
+Scenarios may carry a :class:`ShardBulk`: every shard worker then
+hosts a per-host million-user fluid bulk
+(:class:`~repro.sim.hybrid.FluidEngine` over the shard's local tier
+slice), coupled into the discrete tiers as background load — the
+datacenter flavour of the hybrid engine, closed-loop per host so no
+fluid mass crosses shard boundaries (the cross-host traffic stays
+fully discrete and exactly synchronized).
 
 Both modes build *identical* per-shard domains — same construction
 order, same marshalled RPC frames, same name-addressed RNG streams
@@ -41,11 +60,13 @@ from ..ntier.replicated import ReplicatedTier
 from ..ntier.request import Request
 from ..obs.sketch import LogHistogram
 from ..sim.core import Simulator
+from ..sim.hybrid import FluidEngine, HybridConfig, fluid_tiers_for
 from ..sim.rng import RandomStreams
 from ..sim.sharded import (
     EventCounter,
     FrameChannel,
     LocalChannel,
+    PackedConnection,
     ShardRunner,
     ShardWindow,
 )
@@ -62,8 +83,11 @@ __all__ = [
     "DATACENTERS",
     "DC_2HOST",
     "DC_4HOST",
+    "DC_8HOST",
+    "DC_16HOST",
     "DatacenterRun",
     "DatacenterScenario",
+    "ShardBulk",
     "ShardResult",
     "ShardSpec",
     "run_datacenter",
@@ -76,6 +100,38 @@ class ShardSpec:
 
     host: str
     tiers: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardBulk:
+    """Per-host fluid bulk riding along every shard (hybrid mode).
+
+    Each shard worker runs an independent closed-loop
+    :class:`~repro.sim.hybrid.FluidEngine` of ``users_per_host`` bulk
+    users over its *local* tier slice — background load for the
+    discrete cross-host traffic, per host, so the fluid state never
+    crosses a shard boundary and the safe-window protocol is untouched.
+    """
+
+    users_per_host: int
+    think_time: float
+    fluid_tick: float = 0.02
+    rto: float = 1.0
+    publish_window: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.users_per_host < 1:
+            raise ValueError(
+                f"users_per_host must be >= 1: {self.users_per_host}"
+            )
+        if self.think_time <= 0:
+            raise ValueError(
+                f"think_time must be positive: {self.think_time}"
+            )
+        if self.fluid_tick <= 0:
+            raise ValueError(
+                f"fluid_tick must be positive: {self.fluid_tick}"
+            )
 
 
 @dataclass(frozen=True)
@@ -105,6 +161,8 @@ class DatacenterScenario:
     base: RubbosScenario
     topology: RackTopology
     shards: Tuple[ShardSpec, ...]
+    #: Per-host fluid bulk (hybrid-mode shards); None = pure DES.
+    bulk: Optional[ShardBulk] = None
 
     def __post_init__(self) -> None:
         if len(self.shards) < 2:
@@ -115,7 +173,11 @@ class DatacenterScenario:
                 "links; base.network must be None"
             )
         if self.base.hybrid is not None:
-            raise ValueError("datacenter scenarios run full DES")
+            raise ValueError(
+                "datacenter scenarios run full DES for the discrete "
+                "population; use bulk=ShardBulk(...) for the per-host "
+                "fluid bulk"
+            )
         if self.base.attack is not None:
             _, wants_nic = split_attack_program(self.base.attack.program)
             if wants_nic:
@@ -226,7 +288,8 @@ def _tier_configs(base: RubbosScenario) -> DeploymentConfig:
 
 
 #: Channel ids: edge ``e`` owns call channel ``2e`` (upstream →
-#: downstream) and reply channel ``2e + 1`` (downstream → upstream).
+#: downstream) and reply channel ``2e + 1`` (downstream → upstream) —
+#: a channel's reverse is always ``cid ^ 1``.
 def _channel_specs(
     scenario: DatacenterScenario,
 ) -> List[Tuple[int, int, int, str, str]]:
@@ -270,6 +333,32 @@ def _make_link(
     return link
 
 
+# -- execution groups -------------------------------------------------------
+
+
+def _partition(n: int, k: int) -> List[List[int]]:
+    """Contiguous split of shard indices ``0..n-1`` into ``k`` groups."""
+    base, extra = divmod(n, k)
+    groups: List[List[int]] = []
+    start = 0
+    for g in range(k):
+        size = base + (1 if g < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def _group_window(
+    scenario: DatacenterScenario, group_of: Dict[int, int]
+) -> float:
+    """Base safe-window width: min lookahead over cross-group links."""
+    pairs = []
+    for _, sender, receiver, src, dst in _channel_specs(scenario):
+        if group_of[sender] != group_of[receiver]:
+            pairs.append((src, dst))
+    return scenario.topology.min_lookahead(pairs)
+
+
 @dataclass
 class _Domain:
     """One shard's built world (either execution mode)."""
@@ -280,6 +369,7 @@ class _Domain:
     server: Optional[RemoteTierServer]
     stubs: List[RemoteTierStub]
     sketch: LogHistogram
+    fluid: Optional[FluidEngine] = None
 
     @property
     def app(self):
@@ -298,7 +388,8 @@ def _build_domain(
     ``out_channels`` / ``in_channels`` map channel ids to channel
     objects (``LocalChannel`` or ``FrameChannel`` — same surface).
     Construction order is fixed and identical across modes: deployment,
-    boundary stubs (edge order), server, population, attack.
+    boundary stubs (edge order), server, population, attack, fluid
+    bulk.
     """
     spec = scenario.shards[index]
     base = scenario.base
@@ -394,6 +485,35 @@ def _build_domain(
         )
         attack.launch()
 
+    fluid: Optional[FluidEngine] = None
+    if scenario.bulk is not None:
+        bulk = scenario.bulk
+        # The bulk's mean demands come from the workload model, not a
+        # random stream — RNG-free, so the engine never perturbs the
+        # discrete substreams (same invariant as the hybrid runner).
+        demand_model = RubbosWorkload()
+        fluid = FluidEngine(
+            sim,
+            tiers=fluid_tiers_for(
+                deployment.app.tiers, demand_model.mean_demand
+            ),
+            bulk_users=bulk.users_per_host,
+            think_time=bulk.think_time,
+            config=HybridConfig(
+                sample_fraction=1.0,
+                fluid_tick=bulk.fluid_tick,
+                couple=True,
+                rto=bulk.rto,
+                publish_window=bulk.publish_window,
+            ),
+        )
+        # Re-step exactly on attack ON/OFF edges (registered after the
+        # deployment wired the VMs, so the engine steps with the
+        # pre-change speeds it cached).
+        for memory in deployment.memories.values():
+            fluid.watch(memory)
+        fluid.start()
+
     return _Domain(
         deployment=deployment,
         population=population,
@@ -401,6 +521,7 @@ def _build_domain(
         server=server,
         stubs=stubs,
         sketch=sketch,
+        fluid=fluid,
     )
 
 
@@ -408,9 +529,12 @@ def _build_domain(
 class ShardResult:
     """One shard's aggregates after a run.
 
-    In the unsharded reference mode the event counter is global, so the
-    whole count is reported on shard 0 (only the *sum* is meaningful in
-    either mode — that is the quantity the determinism gate compares).
+    Event counters are per *simulator*: the unsharded reference
+    reports the whole count on shard 0, a grouped run on each group's
+    first member (only the *sum* is meaningful in any mode — that is
+    the quantity the determinism gate compares).  ``frames`` /
+    ``wire_bytes`` follow the same convention (exchange totals of the
+    member's group).
     """
 
     index: int
@@ -423,6 +547,12 @@ class ShardResult:
     #: tier name -> (arrivals, completions, drops).
     tier_stats: Dict[str, Tuple[int, int, int]]
     sketch: LogHistogram
+    #: Per-host fluid-bulk aggregates (hybrid scenarios only).
+    fluid: Optional[Dict[str, float]] = None
+    #: Frames this shard's group put on the wire (0 when unsharded).
+    frames: int = 0
+    #: Packed-transport bytes the group sent (0 on the pickle wire).
+    wire_bytes: int = 0
 
 
 @dataclass
@@ -436,11 +566,31 @@ class DatacenterRun:
     #: Client-side requests from the front shard, completion order.
     completed: List[Request]
     failed: List[Request]
+    #: Synchronization mode the run used (recorded for benchmarks).
+    adaptive: bool = True
+    packed: bool = True
 
     @property
     def event_count(self) -> int:
         """Total dispatched events across every shard simulator."""
         return sum(result.events for result in self.shard_results)
+
+    @property
+    def frames_exchanged(self) -> int:
+        """Total frames sent across all cross-group links."""
+        return sum(result.frames for result in self.shard_results)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total packed-transport bytes sent (0 on the pickle wire)."""
+        return sum(result.wire_bytes for result in self.shard_results)
+
+    @property
+    def rounds(self) -> int:
+        """Exchange rounds the slowest shard ran (0 when unsharded)."""
+        return max(
+            (result.windows for result in self.shard_results), default=0
+        )
 
     @property
     def latency(self) -> LogHistogram:
@@ -454,6 +604,18 @@ class DatacenterRun:
         for result in self.shard_results:
             merged.merge(result.sketch)
         return merged
+
+    @property
+    def fluid_totals(self) -> Optional[Dict[str, float]]:
+        """Summed per-host bulk aggregates, or None without a bulk."""
+        stats = [r.fluid for r in self.shard_results if r.fluid]
+        if not stats:
+            return None
+        return {
+            "bulk_users": sum(s["bulk_users"] for s in stats),
+            "completed": sum(s["completed"] for s in stats),
+            "dropped": sum(s["dropped"] for s in stats),
+        }
 
     def client_requests(self) -> List[Request]:
         """Completed requests that finished after warmup."""
@@ -476,6 +638,17 @@ def _domain_stats(domain: _Domain) -> Dict[str, Tuple[int, int, int]]:
     return {
         tier.name: (tier.arrivals, tier.completions, tier.drops)
         for tier in domain.app.tiers
+    }
+
+
+def _domain_fluid(domain: _Domain) -> Optional[Dict[str, float]]:
+    engine = domain.fluid
+    if engine is None:
+        return None
+    return {
+        "bulk_users": float(engine.bulk_users),
+        "completed": engine.completed,
+        "dropped": engine.dropped,
     }
 
 
@@ -542,6 +715,7 @@ def _run_single(
                 received=received,
                 tier_stats=_domain_stats(domain),
                 sketch=domain.sketch,
+                fluid=_domain_fluid(domain),
             )
         )
     front = domains[0]
@@ -552,82 +726,143 @@ def _run_single(
         shard_results=results,
         completed=list(front.app.completed),
         failed=list(front.app.failed),
+        adaptive=False,
+        packed=False,
     )
 
 
 def _worker_main(
     scenario: DatacenterScenario,
-    index: int,
+    members: List[int],
+    window: float,
     out_conns: Dict[int, Any],
     in_conns: Dict[int, Any],
     result_conn: Any,
     window_stride: int,
+    adaptive: bool,
+    packed: bool,
 ) -> None:
-    """One shard worker: build, run the window loop, ship results."""
+    """One group worker: build its shard domains, run the exchange
+    loop, ship results."""
     try:
         sim = Simulator()
         counter = EventCounter()
         sim.attach_hooks(counter)
-        host = scenario.shards[index].host
-        out_channels: Dict[int, FrameChannel] = {}
-        in_channels: Dict[int, FrameChannel] = {}
+        member_set = set(members)
+        host = scenario.shards[members[0]].host
+        # Channel construction in global cid order: intra-group
+        # channels stay direct, cross-group channels buffer frames.
+        out_channels: Dict[int, Dict[int, Any]] = {m: {} for m in members}
+        in_channels: Dict[int, Dict[int, Any]] = {m: {} for m in members}
+        cross_out: Dict[int, FrameChannel] = {}
+        cross_in: Dict[int, FrameChannel] = {}
         for cid, sender, receiver, src, dst in _channel_specs(scenario):
-            if sender == index:
-                out_channels[cid] = FrameChannel(
-                    _make_link(scenario, sim, src, dst)
+            if sender in member_set and receiver in member_set:
+                channel: Any = LocalChannel(
+                    _make_link(scenario, sim, src, dst), sim
                 )
-            elif receiver == index:
+                out_channels[sender][cid] = channel
+                in_channels[receiver][cid] = channel
+            elif sender in member_set:
+                channel = FrameChannel(_make_link(scenario, sim, src, dst))
+                out_channels[sender][cid] = channel
+                cross_out[cid] = channel
+            elif receiver in member_set:
                 # Receiver-side shell: carries only the bound handler
                 # (the sender's link computed the delivery timestamps).
-                in_channels[cid] = FrameChannel(None)
-        domain = _build_domain(
-            scenario, index, sim, out_channels, in_channels
-        )
+                channel = FrameChannel(None)
+                in_channels[receiver][cid] = channel
+                cross_in[cid] = channel
+        domains = [
+            _build_domain(
+                scenario, index, sim, out_channels[index], in_channels[index]
+            )
+            for index in members
+        ]
 
         def on_window(win: int, now: float, sent: int, received: int):
             result_conn.send(
-                ("window", index, host, win, now, counter.count, sent, received)
+                (
+                    "window",
+                    members[0],
+                    host,
+                    win,
+                    now,
+                    counter.count,
+                    sent,
+                    received,
+                )
             )
 
+        def transport(conn: Any) -> Any:
+            return PackedConnection(conn) if packed else conn
+
+        out_cids = sorted(cross_out)
+        in_cids = sorted(cross_in)
+        in_rank = {cid: rank for rank, cid in enumerate(in_cids)}
         runner = ShardRunner(
             sim,
             duration=scenario.base.duration,
-            window=scenario.window,
+            window=window,
             outgoing=[
-                (out_conns[cid], out_channels[cid])
-                for cid in sorted(out_channels)
+                (transport(out_conns[cid]), cross_out[cid])
+                for cid in out_cids
             ],
             incoming=[
-                (in_conns[cid], in_channels[cid])
-                for cid in sorted(in_channels)
+                (transport(in_conns[cid]), cross_in[cid])
+                for cid in in_cids
             ],
             on_window=on_window,
             window_stride=window_stride,
+            adaptive=adaptive,
+            packed=packed,
+            # A channel's reverse (same host pair, opposite direction)
+            # is cid ^ 1; it crosses the same group boundary, so it is
+            # always present on the incoming side.
+            reverse=[in_rank.get(cid ^ 1) for cid in out_cids],
         )
         with _population_frozen():
             runner.run()
-        _finish_front_sketch(domain)
-        front = domain.population is not None
+        member_payloads = []
+        for position, index in enumerate(members):
+            domain = domains[position]
+            _finish_front_sketch(domain)
+            sent = sum(ch.sent for ch in out_channels[index].values())
+            received = 0
+            for cid, ch in in_channels[index].items():
+                if cid in in_rank:
+                    received += runner.received_per_link[in_rank[cid]]
+                else:
+                    received += ch.sent
+            front = domain.population is not None
+            member_payloads.append(
+                {
+                    "host": scenario.shards[index].host,
+                    "tiers": scenario.shards[index].tiers,
+                    "sent": sent,
+                    "received": received,
+                    "tier_stats": _domain_stats(domain),
+                    "sketch": domain.sketch,
+                    "fluid": _domain_fluid(domain),
+                    "completed": list(domain.app.completed) if front else [],
+                    "failed": list(domain.app.failed) if front else [],
+                }
+            )
         result_conn.send(
             (
                 "done",
-                index,
+                members[0],
                 {
-                    "host": host,
-                    "tiers": scenario.shards[index].tiers,
                     "events": counter.count,
                     "windows": runner.windows,
-                    "sent": runner.sent,
-                    "received": runner.received,
-                    "tier_stats": _domain_stats(domain),
-                    "sketch": domain.sketch,
-                    "completed": list(domain.app.completed) if front else [],
-                    "failed": list(domain.app.failed) if front else [],
+                    "frames": runner.frames_sent,
+                    "wire_bytes": runner.bytes_sent,
+                    "members": member_payloads,
                 },
             )
         )
     except BaseException:
-        result_conn.send(("error", index, traceback.format_exc()))
+        result_conn.send(("error", members[0], traceback.format_exc()))
 
 
 def run_datacenter(
@@ -636,57 +871,85 @@ def run_datacenter(
     progress: Optional[Callable[[ShardWindow], None]] = None,
     bus: Any = None,
     window_stride: Optional[int] = None,
+    adaptive: bool = True,
+    packed: bool = True,
 ) -> DatacenterRun:
     """Execute a datacenter scenario.
 
     ``shards=1`` runs the unsharded reference (one simulator);
-    ``shards=N`` (N = shard count, the default) runs one worker process
-    per shard.  ``progress`` and/or ``bus`` receive
-    :class:`~repro.sim.sharded.ShardWindow` reports — the bus on topic
-    ``"shard.window"`` — throttled to roughly one per shard per
-    simulated second (override with ``window_stride``).
+    ``shards=K`` for ``2 <= K <= n`` runs ``K`` worker processes over
+    contiguous shard groups (``K = n``, the default, is one worker per
+    host).  ``adaptive`` selects promise-driven windows, ``packed``
+    the struct-packed frame transport; every combination is
+    byte-identical to the reference.  ``progress`` and/or ``bus``
+    receive :class:`~repro.sim.sharded.ShardWindow` reports — the bus
+    on topic ``"shard.window"`` — throttled to roughly one per group
+    per simulated second (override with ``window_stride``).
     """
     n = len(scenario.shards)
     if shards is None:
         shards = n
     if shards == 1:
         return _run_single(scenario, progress, bus)
-    if shards != n:
+    if not 1 <= shards <= n:
         raise ValueError(
-            f"{scenario.name} has {n} shards; run with shards=1 or "
-            f"shards={n}, got {shards}"
+            f"{scenario.name} has {n} shards; run with 1 <= shards <= "
+            f"{n}, got {shards}"
         )
+    groups = _partition(n, shards)
+    group_of = {
+        index: g for g, members in enumerate(groups) for index in members
+    }
+    window = _group_window(scenario, group_of)
     stride = window_stride or _default_stride(scenario)
     ctx = mp.get_context("fork")
-    # One pipe per directed channel, endpoints handed to the two
+    # One pipe per cross-group channel, endpoints handed to the two
     # workers; one result pipe per worker back to the coordinator.
     chan_recv: Dict[int, Any] = {}
     chan_send: Dict[int, Any] = {}
     specs = _channel_specs(scenario)
-    for cid, _, _, _, _ in specs:
+    cross = [
+        spec for spec in specs if group_of[spec[1]] != group_of[spec[2]]
+    ]
+    for cid, _, _, _, _ in cross:
         r, w = ctx.Pipe(duplex=False)
         chan_recv[cid] = r
         chan_send[cid] = w
     result_conns = []
     workers = []
-    for index in range(n):
+    for members in groups:
+        member_set = set(members)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         out_conns = {
-            cid: chan_send[cid] for cid, s, _, _, _ in specs if s == index
+            cid: chan_send[cid]
+            for cid, s, _, _, _ in cross
+            if s in member_set
         }
         in_conns = {
-            cid: chan_recv[cid] for cid, _, r, _, _ in specs if r == index
+            cid: chan_recv[cid]
+            for cid, _, r, _, _ in cross
+            if r in member_set
         }
         worker = ctx.Process(
             target=_worker_main,
-            args=(scenario, index, out_conns, in_conns, child_conn, stride),
-            name=f"shard-{index}-{scenario.shards[index].host}",
+            args=(
+                scenario,
+                members,
+                window,
+                out_conns,
+                in_conns,
+                child_conn,
+                stride,
+                adaptive,
+                packed,
+            ),
+            name=f"shard-{members[0]}-{scenario.shards[members[0]].host}",
         )
         worker.start()
         result_conns.append(parent_conn)
         workers.append(worker)
 
-    payloads: List[Optional[dict]] = [None] * n
+    payloads: Dict[int, dict] = {}
     pending = set(result_conns)
     failure: Optional[str] = None
     try:
@@ -728,27 +991,42 @@ def run_datacenter(
     if failure is not None:
         raise RuntimeError(f"sharded run failed:\n{failure}")
 
-    results = [
-        ShardResult(
-            index=index,
-            host=payload["host"],
-            tiers=payload["tiers"],
-            events=payload["events"],
-            windows=payload["windows"],
-            sent=payload["sent"],
-            received=payload["received"],
-            tier_stats=payload["tier_stats"],
-            sketch=payload["sketch"],
-        )
-        for index, payload in enumerate(payloads)
-    ]
+    results: List[ShardResult] = []
+    completed: List[Request] = []
+    failed: List[Request] = []
+    for members in groups:
+        payload = payloads[members[0]]
+        for position, index in enumerate(members):
+            member = payload["members"][position]
+            first = position == 0
+            results.append(
+                ShardResult(
+                    index=index,
+                    host=member["host"],
+                    tiers=member["tiers"],
+                    events=payload["events"] if first else 0,
+                    windows=payload["windows"],
+                    sent=member["sent"],
+                    received=member["received"],
+                    tier_stats=member["tier_stats"],
+                    sketch=member["sketch"],
+                    fluid=member["fluid"],
+                    frames=payload["frames"] if first else 0,
+                    wire_bytes=payload["wire_bytes"] if first else 0,
+                )
+            )
+            if index == 0:
+                completed = member["completed"]
+                failed = member["failed"]
     return DatacenterRun(
         scenario=scenario,
-        shards_used=n,
-        window=scenario.window,
+        shards_used=shards,
+        window=window,
         shard_results=results,
-        completed=payloads[0]["completed"],
-        failed=payloads[0]["failed"],
+        completed=completed,
+        failed=failed,
+        adaptive=adaptive,
+        packed=packed,
     )
 
 
@@ -803,8 +1081,96 @@ DC_4HOST = DatacenterScenario(
     ),
 )
 
+#: Eight hosts over four AZ racks (two hosts each): six mysql replicas
+#: behind one tomcat, the adversary on replica 0 (h5, az3).  Ships
+#: with a per-host million-user fluid bulk — the default run is the
+#: hybrid 8M-user datacenter, pinned by the dc8 determinism golden.
+DC_8HOST = DatacenterScenario(
+    name="dc-8host",
+    base=replace(
+        RubbosScenario(name="private-cloud").with_users(2400),
+        name="dc-8host-base",
+        duration=6.0,
+        warmup=1.0,
+        seed=31,
+        attack=AttackSpec(program="lock"),
+    ),
+    topology=RackTopology(
+        racks=(
+            ("az1", ("h1", "h2")),
+            ("az2", ("h3", "h4")),
+            ("az3", ("h5", "h6")),
+            ("az4", ("h7", "h8")),
+        ),
+        tor_latency=0.006,
+        spine_latency=0.012,
+    ),
+    shards=(
+        ShardSpec(host="h1", tiers=("apache",)),
+        ShardSpec(host="h3", tiers=("tomcat",)),
+        ShardSpec(host="h5", tiers=("mysql",)),
+        ShardSpec(host="h7", tiers=("mysql",)),
+        ShardSpec(host="h2", tiers=("mysql",)),
+        ShardSpec(host="h4", tiers=("mysql",)),
+        ShardSpec(host="h6", tiers=("mysql",)),
+        ShardSpec(host="h8", tiers=("mysql",)),
+    ),
+    bulk=ShardBulk(users_per_host=1_000_000, think_time=2500.0),
+)
+
+#: Sixteen hosts over four AZ racks (four hosts each): fourteen mysql
+#: replicas, per-host million-user bulk — 16M users total, the
+#: capacity stress for the grouped sharded kernel.
+DC_16HOST = DatacenterScenario(
+    name="dc-16host",
+    base=replace(
+        RubbosScenario(name="private-cloud").with_users(3200),
+        name="dc-16host-base",
+        duration=4.0,
+        warmup=1.0,
+        seed=37,
+        attack=AttackSpec(program="lock"),
+    ),
+    topology=RackTopology(
+        racks=(
+            ("az1", ("h1", "h2", "h3", "h4")),
+            ("az2", ("h5", "h6", "h7", "h8")),
+            ("az3", ("h9", "h10", "h11", "h12")),
+            ("az4", ("h13", "h14", "h15", "h16")),
+        ),
+        tor_latency=0.006,
+        spine_latency=0.012,
+    ),
+    shards=(
+        ShardSpec(host="h1", tiers=("apache",)),
+        ShardSpec(host="h5", tiers=("tomcat",)),
+    )
+    + tuple(
+        ShardSpec(host=h, tiers=("mysql",))
+        for h in (
+            "h9",
+            "h13",
+            "h2",
+            "h6",
+            "h10",
+            "h14",
+            "h3",
+            "h7",
+            "h11",
+            "h15",
+            "h4",
+            "h8",
+            "h12",
+            "h16",
+        )
+    ),
+    bulk=ShardBulk(users_per_host=1_000_000, think_time=2500.0),
+)
+
 #: Registered datacenter scenarios, by name (CLI ``run --shards``).
 DATACENTERS: Dict[str, DatacenterScenario] = {
     "dc-2host": DC_2HOST,
     "dc-4host": DC_4HOST,
+    "dc-8host": DC_8HOST,
+    "dc-16host": DC_16HOST,
 }

@@ -31,7 +31,7 @@ from ..obs import LiveTelemetry, Observability, TelemetryConfig
 from ..ntier.request import Request
 from ..ntier.client import UserPopulation
 from ..sim.core import Simulator
-from ..sim.hybrid import FluidEngine, FluidTier, HybridConfig
+from ..sim.hybrid import FluidEngine, FluidTier, HybridConfig, fluid_tiers_for
 from ..sim.rng import RandomStreams
 from ..workload.generator import OpenLoopGenerator, exponential_request_factory
 from ..workload.rubbos import RubbosWorkload
@@ -248,17 +248,9 @@ def run_rubbos(
         if split.bulk > 0:
             fluid = FluidEngine(
                 sim,
-                tiers=[
-                    FluidTier(
-                        name=tier.name,
-                        cpu=tier.vm.cpu,
-                        pool=tier.pool,
-                        demand=workload.mean_demand(tier.name),
-                        link_down=tier.link_down,
-                        link_up=tier.link_up,
-                    )
-                    for tier in deployment.app.tiers
-                ],
+                tiers=fluid_tiers_for(
+                    deployment.app.tiers, workload.mean_demand
+                ),
                 bulk_users=split.bulk,
                 think_time=scenario.think_time,
                 config=hybrid,

@@ -45,7 +45,38 @@ from .core import Simulator, Timeout
 from .psserver import ProcessorSharingServer
 from .resources import Resource
 
-__all__ = ["HybridConfig", "FluidTier", "FluidWindow", "FluidEngine"]
+__all__ = [
+    "HybridConfig",
+    "FluidTier",
+    "FluidWindow",
+    "FluidEngine",
+    "fluid_tiers_for",
+]
+
+
+def fluid_tiers_for(
+    tiers: List[Any], mean_demand: Callable[[str], float]
+) -> List["FluidTier"]:
+    """Build the per-tier fluid wiring for a chain of app tiers.
+
+    ``tiers`` are :class:`~repro.ntier.tier.Tier`-shaped objects (the
+    chain slice the engine's bulk flows through — the whole app in a
+    single-host run, one shard's local slice in a datacenter run);
+    ``mean_demand`` maps a tier name to the bulk's mean CPU demand
+    there.  Shared by the experiment runner and the hybrid-bulk shard
+    workers so both modes couple the bulk through identical wiring.
+    """
+    return [
+        FluidTier(
+            name=tier.name,
+            cpu=tier.vm.cpu,
+            pool=tier.pool,
+            demand=mean_demand(tier.name),
+            link_down=getattr(tier, "link_down", None),
+            link_up=getattr(tier, "link_up", None),
+        )
+        for tier in tiers
+    ]
 
 
 @dataclass(frozen=True)

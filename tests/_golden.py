@@ -71,10 +71,21 @@ GOLDEN_NET = replace(
 #: reference (one simulator, LocalChannel cross-host links), and the
 #: sharded determinism suite asserts ``shards=2`` reproduces this CSV
 #: byte for byte (DESIGN.md §12).
-def run_golden_dc(shards: int = 1):
+def run_golden_dc(shards: int = 1, **kwargs):
     from repro.experiments.datacenter import DC_2HOST, run_datacenter
 
-    return run_datacenter(DC_2HOST, shards=shards)
+    return run_datacenter(DC_2HOST, shards=shards, **kwargs)
+
+
+#: The hybrid-bulk datacenter golden: dc-8host carries a per-host
+#: million-user fluid bulk in every shard worker, so this single CSV
+#: pins the whole stack — eight-way chain tiling, replicated remote
+#: dispatch, *and* the fluid coupling's effect on the discrete
+#: requests (8M bulk users total).
+def run_golden_dc8(shards: int = 1, **kwargs):
+    from repro.experiments.datacenter import DC_8HOST, run_datacenter
+
+    return run_datacenter(DC_8HOST, shards=shards, **kwargs)
 
 
 def requests_csv_text(run) -> str:
@@ -128,6 +139,7 @@ def snapshots() -> dict:
     fig9 = run_golden_fig9()
     net = run_golden_net()
     dc = run_golden_dc()
+    dc8 = run_golden_dc8()
     return {
         "fig2_requests.csv": requests_csv_text(fig2),
         "fig9_requests.csv": requests_csv_text(fig9),
@@ -135,4 +147,5 @@ def snapshots() -> dict:
         "fig9_attribution.txt": attribution_text(fig9),
         "net_requests.csv": requests_csv_text(net),
         "dc2_requests.csv": requests_csv_text(dc),
+        "dc8_requests.csv": requests_csv_text(dc8),
     }

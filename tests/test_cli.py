@@ -79,3 +79,44 @@ class TestCli:
     def test_monitor_listed_in_help(self, capsys):
         assert main(["list"]) == 0
         assert "monitor <scenario>" in capsys.readouterr().out
+
+
+class TestDatacenterCli:
+    """``run``/``monitor`` on multi-host scenarios: shard resolution."""
+
+    DC_ARGS = ["--users", "60", "--duration", "2"]
+
+    def test_shards_auto_resolves_to_cpu_count(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert main(
+            ["run", "dc-2host", "--shards", "auto", *self.DC_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shards=1" in out
+        assert "adaptive windows" in out
+
+    def test_shards_auto_caps_at_host_count(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert main(
+            ["run", "dc-2host", "--shards", "auto", *self.DC_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        # dc-2host has two hosts, so auto never exceeds 2 shards.
+        assert "shards=2" in out
+        assert "transport:" in out
+
+    def test_fixed_window_mode(self, capsys):
+        assert main(
+            ["run", "dc-2host", "--shards", "1", "--fixed-window",
+             *self.DC_ARGS]
+        ) == 0
+        assert "fixed windows" in capsys.readouterr().out
+
+    def test_shards_rejects_non_integer(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "dc-2host", "--shards", "many"])
+        assert "expected an integer or 'auto'" in capsys.readouterr().err

@@ -342,6 +342,67 @@ class TestShardBoundaryProperties:
         assert outcomes(None) == outcomes(window)
 
     @given(
+        starts=st.lists(
+            st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        widths=st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=1,
+            max_size=40,
+        ),
+        offcuts=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_width_schedule_preserves_rto_exhaustion(
+        self, starts, widths, offcuts
+    ):
+        # The adaptive protocol advances in *integer multiples* of the
+        # base window occasionally capped at an off-grid promise bound
+        # (DESIGN.md §12).  Replay one such irregular horizon schedule
+        # against the straight run: armed RTO timers, exhaustion
+        # instants, and retry counts must be indifferent to where the
+        # widened boundaries land — including edges falling exactly on
+        # an RTO expiry (min_rto is a multiple of the base window, so
+        # retry timers land on grid edges).
+        window = 0.01
+
+        def outcomes(adaptive):
+            sim = Simulator()
+            chain = QueueChain(
+                sim,
+                "a->b",
+                [FiniteQueue(sim, "ring", rate=200.0, buffer=2)],
+                tcp=RetransmissionPolicy(
+                    min_rto=0.02, backoff=2.0, max_retries=2
+                ),
+            )
+            results = []
+            for t in starts:
+                drive(sim, chain, t, results)
+            if adaptive:
+                horizon = 0.0
+                for k, cut in zip(widths, offcuts):
+                    # A widened round of k base windows, sometimes
+                    # cut short at an off-grid bound inside it.
+                    horizon += k * window * (cut if cut > 0.2 else 1.0)
+                    sim.run(until=horizon)
+            sim.run()
+            return results, (
+                chain.delivered,
+                chain.failed,
+                chain.drops,
+                chain.attempts,
+            )
+
+        assert outcomes(False) == outcomes(True)
+
+    @given(
         sends=st.lists(
             st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
             min_size=1,

@@ -13,6 +13,8 @@ from dataclasses import replace
 from functools import partial
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cloud import (
     LinkSpec,
@@ -500,6 +502,330 @@ class TestDatacenterScenarioValidation:
                 DC_2HOST, base=replace(DC_2HOST.base, network=NetworkConfig())
             )
 
-    def test_run_rejects_partial_shard_counts(self):
-        with pytest.raises(ValueError, match="shards=2"):
+    def test_run_rejects_out_of_range_shard_counts(self):
+        # Any 1 <= K <= n is a valid contiguous grouping now; only
+        # counts outside that range are rejected.
+        with pytest.raises(ValueError, match="1 <= shards"):
             run_datacenter(DC_2HOST, shards=3)
+        with pytest.raises(ValueError, match="1 <= shards"):
+            run_datacenter(DC_4HOST, shards=0)
+
+    def test_bulk_validation(self):
+        from repro.experiments.datacenter import ShardBulk
+
+        with pytest.raises(ValueError, match="users_per_host"):
+            ShardBulk(users_per_host=0, think_time=1.0)
+        with pytest.raises(ValueError, match="think_time"):
+            ShardBulk(users_per_host=10, think_time=0.0)
+        with pytest.raises(ValueError, match="fluid_tick"):
+            ShardBulk(users_per_host=10, think_time=1.0, fluid_tick=0.0)
+
+    def test_hybrid_base_rejected_in_favor_of_bulk(self):
+        from repro.sim.hybrid import HybridConfig
+
+        with pytest.raises(ValueError, match="ShardBulk"):
+            replace(
+                DC_2HOST,
+                base=replace(
+                    DC_2HOST.base,
+                    hybrid=HybridConfig(sample_fraction=0.5),
+                ),
+            )
+
+
+class TestFrameCodec:
+    """The packed wire round-trips payloads *equal* to the originals."""
+
+    HEADER = (1.25, 1.0, 0, 2)
+
+    def roundtrip(self, frame, encoder=None, decoder=None):
+        from repro.sim.sharded import FrameCodec
+
+        encoder = encoder or FrameCodec()
+        decoder = decoder or FrameCodec()
+        buf = encoder.encode(*self.HEADER, frame)
+        assert isinstance(buf, bytes)
+        promise, clock, flags, skip, out = decoder.decode(buf)
+        assert (promise, clock, flags, skip) == self.HEADER
+        return out, encoder, decoder
+
+    def test_call_row_roundtrips_exactly(self):
+        frame = [
+            (
+                0.503,
+                (9, 1207, "StoriesOfTheDay", {"mysql": 0.0215}, 1.0),
+            )
+        ]
+        out, _, _ = self.roundtrip(frame)
+        assert out == frame
+
+    def test_reply_and_error_rows_roundtrip_exactly(self):
+        spans = [("mysql", [(0.5, 0.52), (0.6, 0.61)]), ("cache", [])]
+        frame = [
+            (0.7, (9, True, spans)),
+            (0.71, (10, False, "mysql")),
+        ]
+        out, _, _ = self.roundtrip(frame)
+        assert out == frame
+
+    def test_unrecognized_payloads_fall_back_to_pickle(self):
+        frame = [
+            (0.1, "plain-string"),
+            (0.2, {"not": "an rpc"}),
+            (0.3, (1, 2)),  # tuple of the wrong arity
+            (0.4, (9, 1, "page", {"mysql": 1}, 1.0)),  # int demand
+        ]
+        out, _, _ = self.roundtrip(frame)
+        assert out == frame
+
+    def test_empty_frame_is_header_only(self):
+        out, encoder, _ = self.roundtrip([])
+        assert out == []
+        assert encoder.frames == 1
+        assert encoder.messages == 0
+
+    def test_interning_is_stateful_across_frames(self):
+        from repro.sim.sharded import FrameCodec
+
+        encoder, decoder = FrameCodec(), FrameCodec()
+        call = (1, 1, "StoriesOfTheDay", {"mysql": 0.02}, 1.0)
+        first = encoder.encode(*self.HEADER, [(0.5, call)])
+        second = encoder.encode(*self.HEADER, [(0.6, call)])
+        # The second frame reuses the table: no string section bytes.
+        assert len(second) < len(first)
+        assert decoder.decode(first)[4] == [(0.5, call)]
+        assert decoder.decode(second)[4] == [(0.6, call)]
+
+    def test_header_flags_and_final_promise_survive(self):
+        from math import inf
+
+        from repro.sim.sharded import FLAG_FINAL, FrameCodec
+
+        buf = FrameCodec().encode(inf, 3.0, FLAG_FINAL, 0, [])
+        promise, clock, flags, skip, out = FrameCodec().decode(buf)
+        assert promise == inf
+        assert clock == 3.0
+        assert flags & FLAG_FINAL
+        assert out == []
+
+    def test_float_demand_values_are_bit_exact(self):
+        value = 0.1 + 0.2  # a float with a noisy mantissa
+        frame = [(0.25, (3, 4, "p", {"a": value, "b": 1e-300}, 0.125))]
+        out, _, _ = self.roundtrip(frame)
+        assert out[0][1][3]["a"].hex() == value.hex()
+        assert out[0][1][3]["b"].hex() == (1e-300).hex()
+
+
+class QueueTransport:
+    """Thread-safe one-directional transport over ``queue.Queue``."""
+
+    def __init__(self, out_q, in_q):
+        self.out_q = out_q
+        self.in_q = in_q
+
+    def send(self, obj):
+        self.out_q.put(obj)
+
+    def recv(self):
+        import queue as queue_mod
+
+        try:
+            return self.in_q.get(timeout=30.0)
+        except queue_mod.Empty:  # pragma: no cover - deadlock guard
+            raise AssertionError("shard exchange deadlocked")
+
+
+def run_shard_pair(
+    sends_a,
+    sends_b,
+    lookahead_ab,
+    lookahead_ba,
+    duration,
+    window,
+    adaptive,
+    packed=False,
+):
+    """Two ShardRunner threads exchanging over queue transports.
+
+    Each side pre-schedules timer-driven sends on its own simulator;
+    returns the two delivery logs as ``[(delivery_time, payload), ...]``
+    in handler-invocation order — exactly the injection order the
+    protocol produced.
+    """
+    import queue
+    import threading
+
+    q_ab, q_ba = queue.Queue(), queue.Queue()
+    logs = ([], [])
+    rounds = [0, 0]
+    frames = [0, 0]
+    errors = []
+
+    def shard(side):
+        try:
+            sim = Simulator()
+            sends = (sends_a, sends_b)[side]
+            out_ch = FrameChannel(
+                ConstantLink((lookahead_ab, lookahead_ba)[side])
+            )
+            in_ch = FrameChannel(None)
+            log = logs[side]
+            in_ch.bind(lambda p: log.append((sim.now, p)))
+            for t, payload in sends:
+                sim.defer_at(t, partial(out_ch.send, t, payload))
+            out_q, in_q = (q_ab, q_ba) if side == 0 else (q_ba, q_ab)
+            runner = ShardRunner(
+                sim,
+                duration=duration,
+                window=window,
+                outgoing=[(QueueTransport(out_q, in_q), out_ch)],
+                incoming=[(QueueTransport(out_q, in_q), in_ch)],
+                adaptive=adaptive,
+                packed=packed,
+                reverse=[0],
+            )
+            runner.run()
+            rounds[side] = runner.windows
+            frames[side] = runner.frames_sent
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append((side, exc))
+
+    threads = [
+        threading.Thread(target=shard, args=(side,)) for side in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors, errors
+    return logs, rounds, frames
+
+
+def expected_deliveries(sends, lookahead, duration=1.0):
+    """Reference injection order: delivery stamp, ties in send order.
+
+    Deliveries stamped past ``duration`` are injected but never
+    dispatched (the receiving simulator stops at the horizon), so they
+    do not appear in any mode's log.
+    """
+    stamped = [
+        (t + lookahead, i, p) for i, (t, p) in enumerate(sorted(sends))
+    ]
+    stamped.sort(key=lambda e: (e[0], e[1]))
+    return [(time, p) for time, _, p in stamped if time <= duration]
+
+
+class TestAdaptiveRunner:
+    """The promise-driven protocol delivers the fixed-width order.
+
+    The harness pits two runner threads against each other over queue
+    transports: every (send schedule, link asymmetry) must produce the
+    identical delivery log under fixed windows, adaptive windows, and
+    the packed wire — including sends landing exactly on window
+    boundaries (where retry timers such as link-RTO expiries fire) and
+    frames straddling the widened multi-window rounds of the adaptive
+    mode.
+    """
+
+    W = 0.1
+    DURATION = 1.0
+
+    def run_modes(self, sends_a, sends_b, la, lb):
+        fixed, _, fixed_frames = run_shard_pair(
+            sends_a, sends_b, la, lb, self.DURATION, self.W, adaptive=False
+        )
+        adaptive, _, frames = run_shard_pair(
+            sends_a, sends_b, la, lb, self.DURATION, self.W, adaptive=True
+        )
+        packed, _, _ = run_shard_pair(
+            sends_a,
+            sends_b,
+            la,
+            lb,
+            self.DURATION,
+            self.W,
+            adaptive=True,
+            packed=True,
+        )
+        assert adaptive == fixed
+        assert packed == fixed
+        return fixed, (fixed_frames, frames)
+
+    def test_symmetric_chatter_is_identical(self):
+        sends_a = [(0.05 * i, f"a{i}") for i in range(18)]
+        sends_b = [(0.07 * i, f"b{i}") for i in range(14)]
+        logs, _ = self.run_modes(sends_a, sends_b, self.W, self.W)
+        assert logs[1] == [
+            (pytest.approx(t + self.W), p) for t, p in sends_a
+        ]
+
+    def test_wide_links_widen_rounds_without_reordering(self):
+        # Lookahead 5x the base window: the adaptive mode runs multi-
+        # window rounds, and frames straddle the widened boundaries.
+        la = lb = 5 * self.W
+        sends_a = [(0.033 * i, f"a{i}") for i in range(28)]
+        sends_b = [(0.051 * i, f"b{i}") for i in range(18)]
+        logs, (fixed_frames, frames) = self.run_modes(
+            sends_a, sends_b, la, lb
+        )
+        assert logs[0] == expected_deliveries(sends_b, lb)
+        assert logs[1] == expected_deliveries(sends_a, la)
+        # The point of widening + silence: far fewer frames on the
+        # wire than the one-per-window the fixed protocol ships.
+        assert max(fixed_frames) >= 10
+        assert max(frames) < max(fixed_frames)
+
+    def test_window_edge_sends_are_exact(self):
+        # Sends exactly at k*W — the stamp class retry timers (e.g.
+        # link-RTO expiries rescheduled a whole RTO apart) produce.
+        sends_a = [(k * self.W, f"edge{k}") for k in range(1, 9)]
+        sends_b = [(k * self.W / 2, f"half{k}") for k in range(1, 17)]
+        logs, _ = self.run_modes(sends_a, sends_b, self.W, 2 * self.W)
+        assert logs[1] == expected_deliveries(sends_a, self.W)
+        assert logs[0] == expected_deliveries(sends_b, 2 * self.W)
+
+    def test_silent_side_uses_null_frames(self):
+        sends_a = [(0.21, "lonely")]
+        logs, _ = self.run_modes(sends_a, [], self.W, self.W)
+        assert logs[1] == [(pytest.approx(0.31), "lonely")]
+        assert logs[0] == []
+
+    @given(
+        grid_a=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=39),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=24,
+        ),
+        grid_b=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=39),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=24,
+        ),
+        la_quarters=st.integers(min_value=4, max_value=20),
+        lb_quarters=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_adaptive_order_matches_fixed(
+        self, grid_a, grid_b, la_quarters, lb_quarters
+    ):
+        """Random quarter-window grids (boundary hits included) and
+        asymmetric lookaheads: identical (time, rank, idx) injection
+        order in every mode."""
+        quarter = self.W / 4
+        sends_a = [
+            (k * quarter, ("a", i, k, j))
+            for i, (k, j) in enumerate(grid_a)
+        ]
+        sends_b = [
+            (k * quarter, ("b", i, k, j))
+            for i, (k, j) in enumerate(grid_b)
+        ]
+        la = la_quarters * quarter
+        lb = lb_quarters * quarter
+        logs, _ = self.run_modes(sends_a, sends_b, la, lb)
+        assert logs[1] == expected_deliveries(sends_a, la)
+        assert logs[0] == expected_deliveries(sends_b, lb)
